@@ -1,0 +1,119 @@
+// E1 — Figure 1 / Table 1 / Remark 1.
+//
+// Regenerates the paper's running example: prints Table 1, answers the
+// headline query ("buses per hour, morning, income < 1500") with every
+// evaluation strategy, asserts the exact 4/3 answer, and times the query at
+// growing day-replication scales.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/engine.h"
+#include "core/queries.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using piet::core::GeometryPredicate;
+using piet::core::QueryEngine;
+using piet::core::Strategy;
+using piet::core::TimePredicate;
+using piet::workload::BuildFigure1Scenario;
+using piet::workload::Figure1Scenario;
+
+TimePredicate Morning() {
+  TimePredicate when;
+  when.RollupEquals("timeOfDay", piet::Value("Morning"));
+  return when;
+}
+
+GeometryPredicate LowIncome(const Figure1Scenario& s) {
+  return GeometryPredicate::AttributeLess("income", s.income_threshold);
+}
+
+void ShapeReport() {
+  auto scenario = BuildFigure1Scenario().ValueOrDie();
+  std::printf("=== E1: Figure 1 / Table 1 / Remark 1 ===\n");
+  std::printf("--- Table 1 (FMbus) ---\n%s",
+              scenario.db->GetMoft("FMbus")
+                  .ValueOrDie()
+                  ->ToFactTable()
+                  .ToString(20)
+                  .c_str());
+  if (!scenario.db->BuildOverlay({scenario.neighborhoods_layer}).ok()) {
+    std::abort();
+  }
+  QueryEngine engine(scenario.db.get());
+  std::printf("--- Remark 1: expected per_hour = 4/3 = 1.333333 ---\n");
+  std::printf("%-10s %8s %8s %12s %12s\n", "strategy", "tuples", "hours",
+              "per_hour", "pt_tests");
+  for (Strategy s :
+       {Strategy::kNaive, Strategy::kIndexed, Strategy::kOverlay}) {
+    auto result = piet::core::queries::CountPerHourInRegion(
+        engine, scenario.moft_name, scenario.neighborhoods_layer,
+        LowIncome(scenario), Morning(), s);
+    if (!result.ok()) {
+      std::fprintf(stderr, "E1 failed: %s\n",
+                   result.status().ToString().c_str());
+      std::abort();
+    }
+    const auto& r = result.ValueOrDie();
+    std::printf("%-10s %8lld %8lld %12.6f %12zu\n",
+                std::string(StrategyToString(s)).c_str(),
+                static_cast<long long>(r.tuple_count),
+                static_cast<long long>(r.hour_count), r.per_hour,
+                engine.stats().point_tests);
+    if (r.per_hour != 4.0 / 3.0) {
+      std::fprintf(stderr, "E1 MISMATCH: got %f, want 4/3\n", r.per_hour);
+      std::abort();
+    }
+  }
+  std::printf("result: 4/3 reproduced exactly by all strategies\n\n");
+}
+
+void BM_HeadlineQuery(benchmark::State& state) {
+  int replication = static_cast<int>(state.range(0));
+  Strategy strategy = static_cast<Strategy>(state.range(1));
+  auto scenario = BuildFigure1Scenario(replication).ValueOrDie();
+  if (strategy == Strategy::kOverlay) {
+    (void)scenario.db->BuildOverlay({scenario.neighborhoods_layer});
+  }
+  QueryEngine engine(scenario.db.get());
+  GeometryPredicate pred = LowIncome(scenario);
+  TimePredicate when = Morning();
+  double per_hour = 0.0;
+  for (auto _ : state) {
+    auto result = piet::core::queries::CountPerHourInRegion(
+        engine, scenario.moft_name, scenario.neighborhoods_layer, pred, when,
+        strategy);
+    per_hour = result.ValueOrDie().per_hour;
+    benchmark::ClobberMemory();
+  }
+  state.counters["per_hour"] = per_hour;
+  state.counters["samples"] = static_cast<double>(
+      scenario.db->GetMoft("FMbus").ValueOrDie()->num_samples());
+  state.SetLabel(std::string(StrategyToString(strategy)));
+}
+
+void RegisterAll() {
+  for (int strategy = 0; strategy < 3; ++strategy) {
+    for (int replication : {1, 16, 128, 1024}) {
+      benchmark::RegisterBenchmark("BM_HeadlineQuery", BM_HeadlineQuery)
+          ->Args({replication, strategy})
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ShapeReport();
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,143 @@
+// E7 — the OLAP substrate: γ aggregation (Def. 7) and hierarchy rollup.
+//
+// Shape claims: γ scales linearly in rows; cube rollup adds one rollup
+// lookup per row; the Time dimension rollups are O(1) per instant.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "common/random.h"
+#include "olap/aggregate.h"
+#include "olap/cube.h"
+#include "temporal/time_dimension.h"
+
+namespace {
+
+using piet::Random;
+using piet::Value;
+using piet::olap::AggFunction;
+using piet::olap::Aggregate;
+using piet::olap::Cube;
+using piet::olap::DimensionBinding;
+using piet::olap::DimensionInstance;
+using piet::olap::DimensionSchema;
+using piet::olap::FactTable;
+
+constexpr int kCities = 64;
+constexpr int kCountries = 8;
+
+std::shared_ptr<DimensionInstance> MakeGeoDim() {
+  DimensionSchema schema("Geo", "city");
+  (void)schema.AddEdge("city", "country");
+  (void)schema.AddEdge("country", DimensionSchema::kAll);
+  auto dim = std::make_shared<DimensionInstance>(schema);
+  for (int c = 0; c < kCities; ++c) {
+    (void)dim->AddRollup("city", Value("C" + std::to_string(c)), "country",
+                         Value("K" + std::to_string(c % kCountries)));
+  }
+  for (int k = 0; k < kCountries; ++k) {
+    (void)dim->AddRollup("country", Value("K" + std::to_string(k)),
+                         DimensionSchema::kAll, Value("all"));
+  }
+  return dim;
+}
+
+FactTable MakeFacts(size_t rows, uint64_t seed) {
+  Random rng(seed);
+  FactTable t = FactTable::Make({"city"}, {"amount"});
+  for (size_t i = 0; i < rows; ++i) {
+    (void)t.Append({Value("C" + std::to_string(rng.Uniform(kCities))),
+                    Value(rng.UniformDouble(0, 100))});
+  }
+  return t;
+}
+
+void ShapeReport() {
+  std::printf("=== E7: gamma aggregation & rollup scaling ===\n");
+  auto dim = MakeGeoDim();
+  std::printf("%10s %10s %12s\n", "rows", "groups", "sum_check");
+  for (size_t rows : {1000u, 10000u, 100000u}) {
+    FactTable facts = MakeFacts(rows, 5);
+    auto grouped =
+        Aggregate(facts, {"city"}, AggFunction::kSum, "amount").ValueOrDie();
+    Cube cube(facts, {{"city", dim, "city"}});
+    auto rolled = cube.RollUp("city", "country", AggFunction::kSum, "amount")
+                      .ValueOrDie();
+    double total_city = 0, total_country = 0;
+    for (const auto& r : grouped.rows()) {
+      total_city += r[1].AsDoubleUnchecked();
+    }
+    for (const auto& r : rolled.rows()) {
+      total_country += r[1].AsDoubleUnchecked();
+    }
+    std::printf("%10zu %10zu %12s\n", rows, grouped.num_rows(),
+                std::abs(total_city - total_country) < 1e-6 * total_city
+                    ? "exact"
+                    : "MISMATCH");
+  }
+  std::printf("shape: rollup preserves totals at every level\n\n");
+}
+
+void BM_GammaAggregate(benchmark::State& state) {
+  FactTable facts = MakeFacts(static_cast<size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    auto r = Aggregate(facts, {"city"}, AggFunction::kSum, "amount");
+    benchmark::DoNotOptimize(r.ValueOrDie().num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_CubeRollup(benchmark::State& state) {
+  auto dim = MakeGeoDim();
+  FactTable facts = MakeFacts(static_cast<size_t>(state.range(0)), 5);
+  Cube cube(facts, {{"city", dim, "city"}});
+  for (auto _ : state) {
+    auto r = cube.RollUp("city", "country", AggFunction::kSum, "amount");
+    benchmark::DoNotOptimize(r.ValueOrDie().num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_TimeDimensionRollup(benchmark::State& state) {
+  piet::temporal::TimeDimension dim;
+  Random rng(9);
+  std::vector<piet::temporal::TimePoint> instants;
+  for (int i = 0; i < 1000; ++i) {
+    instants.emplace_back(rng.UniformDouble(0, 1e9));
+  }
+  const char* level =
+      state.range(0) == 0 ? "hour" : (state.range(0) == 1 ? "day" : "timeOfDay");
+  for (auto _ : state) {
+    for (const auto& t : instants) {
+      benchmark::DoNotOptimize(dim.Rollup(level, t).ValueOrDie());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.SetLabel(level);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ShapeReport();
+  for (int rows : {1000, 10000, 100000}) {
+    benchmark::RegisterBenchmark("BM_GammaAggregate", BM_GammaAggregate)
+        ->Arg(rows)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("BM_CubeRollup", BM_CubeRollup)
+        ->Arg(rows)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  for (int level : {0, 1, 2}) {
+    benchmark::RegisterBenchmark("BM_TimeDimensionRollup",
+                                 BM_TimeDimensionRollup)
+        ->Arg(level)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,183 @@
+// E2 — the Sec. 4 worked queries (types 3, 4, 6, 7) on synthetic cities.
+//
+// Shape goals: every query answers consistently across strategies (checked
+// in tests); here we report the per-type evaluation cost and how it scales
+// with the number of objects and neighborhoods.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "core/engine.h"
+#include "core/queries.h"
+#include "workload/city.h"
+#include "workload/trajectories.h"
+
+namespace {
+
+using piet::core::GeoOlapDatabase;
+using piet::core::GeometryPredicate;
+using piet::core::QueryEngine;
+using piet::core::Strategy;
+using piet::core::TimePredicate;
+using piet::workload::City;
+using piet::workload::CityConfig;
+using piet::workload::TrajectoryConfig;
+
+struct Fixture {
+  City city;
+};
+
+std::shared_ptr<Fixture> MakeFixture(int grid, int objects) {
+  CityConfig city_config;
+  city_config.seed = 4242;
+  city_config.grid_cols = grid;
+  city_config.grid_rows = grid;
+  auto fixture = std::make_shared<Fixture>();
+  fixture->city = std::move(piet::workload::GenerateCity(city_config))
+                      .ValueOrDie();
+
+  TrajectoryConfig traj;
+  traj.seed = 99;
+  traj.num_objects = objects;
+  traj.duration = 4 * 3600.0;
+  traj.sample_period = 60.0;
+  traj.speed = 12.0;
+  auto moft =
+      piet::workload::GenerateTrajectories(fixture->city, traj).ValueOrDie();
+  (void)fixture->city.db->AddMoft("cars", std::move(moft));
+  (void)fixture->city.db->BuildOverlay(
+      {fixture->city.neighborhoods_layer});
+  return fixture;
+}
+
+void ShapeReport() {
+  std::printf("=== E2: Sec. 4 query types on a synthetic city ===\n");
+  auto fixture = MakeFixture(8, 200);
+  GeoOlapDatabase& db = *fixture->city.db;
+  QueryEngine engine(&db);
+  const std::string& nb = fixture->city.neighborhoods_layer;
+  GeometryPredicate low = GeometryPredicate::AttributeLess("income", 1500.0);
+  TimePredicate any;
+
+  auto q_headline = piet::core::queries::CountPerHourInRegion(
+      engine, "cars", nb, low, any, Strategy::kOverlay);
+  std::printf("type 4 (headline): per_hour=%.3f over %lld hours\n",
+              q_headline.ValueOrDie().per_hour,
+              static_cast<long long>(q_headline.ValueOrDie().hour_count));
+
+  auto q3_samples = piet::core::queries::CountObjectsCompletelyWithin(
+      engine, "cars", nb, GeometryPredicate::AttributeGreaterEq("income", 0.0),
+      any, false);
+  std::printf("type 4 (completely-within, tautology): %lld objects\n",
+              static_cast<long long>(q3_samples.ValueOrDie()));
+
+  auto q6 = piet::core::queries::CountNearNodesPerHour(
+      engine, "cars", fixture->city.schools_layer, 10.0, any, false);
+  auto q6i = piet::core::queries::CountNearNodesPerHour(
+      engine, "cars", fixture->city.schools_layer, 10.0, any, true);
+  std::printf(
+      "type 4 vs 7 (near schools): sampled pairs=%lld, interpolated "
+      "pairs=%lld (interpolated >= sampled: %s)\n",
+      static_cast<long long>(q6.ValueOrDie().tuple_count),
+      static_cast<long long>(q6i.ValueOrDie().tuple_count),
+      q6i.ValueOrDie().tuple_count >= q6.ValueOrDie().tuple_count ? "yes"
+                                                                  : "NO");
+  std::printf("\n");
+}
+
+void BM_Type3_TimeOnly(benchmark::State& state) {
+  auto fixture = MakeFixture(8, static_cast<int>(state.range(0)));
+  QueryEngine engine(fixture->city.db.get());
+  TimePredicate when;
+  when.RollupEquals("timeOfDay", piet::Value("Night"));
+  for (auto _ : state) {
+    auto r = engine.SamplesMatchingTime("cars", when);
+    benchmark::DoNotOptimize(r.ValueOrDie().num_rows());
+  }
+}
+
+void BM_Type4_SampleRegion(benchmark::State& state) {
+  auto fixture = MakeFixture(static_cast<int>(state.range(1)),
+                             static_cast<int>(state.range(0)));
+  QueryEngine engine(fixture->city.db.get());
+  GeometryPredicate low = GeometryPredicate::AttributeLess("income", 1500.0);
+  for (auto _ : state) {
+    auto r = engine.SampleRegion("cars", fixture->city.neighborhoods_layer,
+                                 low, TimePredicate(), Strategy::kOverlay);
+    benchmark::DoNotOptimize(r.ValueOrDie().num_rows());
+  }
+  state.counters["samples"] = static_cast<double>(
+      fixture->city.db->GetMoft("cars").ValueOrDie()->num_samples());
+}
+
+void BM_Type6_Snapshot(benchmark::State& state) {
+  auto fixture = MakeFixture(8, static_cast<int>(state.range(0)));
+  QueryEngine engine(fixture->city.db.get());
+  piet::temporal::TimePoint mid(2 * 3600.0);
+  for (auto _ : state) {
+    auto r = engine.SnapshotInRegion("cars",
+                                     fixture->city.neighborhoods_layer,
+                                     GeometryPredicate::All(), mid);
+    benchmark::DoNotOptimize(r.ValueOrDie().num_rows());
+  }
+}
+
+void BM_Type7_TrajectoryRegion(benchmark::State& state) {
+  auto fixture = MakeFixture(8, static_cast<int>(state.range(0)));
+  QueryEngine engine(fixture->city.db.get());
+  GeometryPredicate low = GeometryPredicate::AttributeLess("income", 1500.0);
+  for (auto _ : state) {
+    auto r = engine.TrajectoryRegion("cars",
+                                     fixture->city.neighborhoods_layer, low,
+                                     TimePredicate());
+    benchmark::DoNotOptimize(r.ValueOrDie().num_rows());
+  }
+}
+
+void BM_Type7_NearNodes(benchmark::State& state) {
+  auto fixture = MakeFixture(8, static_cast<int>(state.range(0)));
+  QueryEngine engine(fixture->city.db.get());
+  for (auto _ : state) {
+    auto r = engine.TrajectoryNearNodes("cars", fixture->city.schools_layer,
+                                        50.0, TimePredicate());
+    benchmark::DoNotOptimize(r.ValueOrDie().num_rows());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ShapeReport();
+  for (int objects : {50, 200, 800}) {
+    benchmark::RegisterBenchmark("BM_Type3_TimeOnly", BM_Type3_TimeOnly)
+        ->Arg(objects)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("BM_Type4_SampleRegion",
+                                 BM_Type4_SampleRegion)
+        ->Args({objects, 8})
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("BM_Type6_Snapshot", BM_Type6_Snapshot)
+        ->Arg(objects)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("BM_Type7_TrajectoryRegion",
+                                 BM_Type7_TrajectoryRegion)
+        ->Arg(objects)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("BM_Type7_NearNodes", BM_Type7_NearNodes)
+        ->Arg(objects)
+        ->Unit(benchmark::kMillisecond);
+  }
+  // Neighborhood-count sweep at fixed fleet.
+  for (int grid : {4, 8, 16, 32}) {
+    benchmark::RegisterBenchmark("BM_Type4_SampleRegion/grid",
+                                 BM_Type4_SampleRegion)
+        ->Args({200, grid})
+        ->Unit(benchmark::kMicrosecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Interactive Piet-QL shell over a generated city — a minimal "database
+// console" for the framework. Reads one query per line, prints the result.
+//
+// Usage:
+//   pietql_shell                # interactive (reads stdin)
+//   echo "<query>" | pietql_shell
+//
+// The database is a deterministic 8x8 city with a 200-car random-waypoint
+// MOFT named `cars`. Available layers: neighborhoods (polygon; attributes
+// income, population, name), streets, schools, stores, stops, rivers.
+//
+// Example session:
+//   SELECT layer.neighborhoods; FROM SimCity;
+//       WHERE ATTR(layer.neighborhoods, income) < 1500
+//       | SELECT COUNT(DISTINCT OID) FROM cars WHERE INSIDE RESULT
+//   SELECT layer.neighborhoods; FROM SimCity;
+//       | SELECT RATE PER HOUR FROM cars WHERE INSIDE RESULT
+//         GROUP BY TIME.hour
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/pietql/evaluator.h"
+#include "workload/city.h"
+#include "workload/trajectories.h"
+
+int main() {
+  piet::workload::CityConfig config;
+  config.seed = 1;
+  config.grid_cols = 8;
+  config.grid_rows = 8;
+  auto city_r = piet::workload::GenerateCity(config);
+  if (!city_r.ok()) {
+    std::fprintf(stderr, "city generation failed: %s\n",
+                 city_r.status().ToString().c_str());
+    return 1;
+  }
+  piet::workload::City city = std::move(city_r).ValueOrDie();
+
+  piet::workload::TrajectoryConfig traj;
+  traj.seed = 2;
+  traj.num_objects = 200;
+  traj.duration = 3 * 3600.0;
+  traj.sample_period = 60.0;
+  traj.speed = 12.0;
+  auto moft = piet::workload::GenerateTrajectories(city, traj);
+  if (!moft.ok() ||
+      !city.db->AddMoft("cars", std::move(moft).ValueOrDie()).ok()) {
+    std::fprintf(stderr, "trajectory generation failed\n");
+    return 1;
+  }
+
+  std::fprintf(stderr,
+               "piet-ql shell — layers: neighborhoods streets schools "
+               "stores stops rivers; MOFT: cars (%d objects)\n"
+               "one query per line; empty line or EOF quits\n",
+               traj.num_objects);
+
+  piet::core::pietql::Evaluator evaluator(city.db.get());
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) {
+      break;
+    }
+    auto result = evaluator.EvaluateString(line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s\n", result.ValueOrDie().ToString().c_str());
+  }
+  return 0;
+}

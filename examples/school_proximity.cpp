@@ -1,0 +1,127 @@
+// School-proximity analysis — the paper's Sec. 4 query 6:
+// "Number of cars per hour within a radius of 100 m from schools, in the
+// morning", evaluated three ways:
+//   1. sample semantics (type 4): only observed points count;
+//   2. trajectory semantics (type 7): the LIT catches unsampled drive-bys;
+//   3. bead semantics (uncertainty extension): everything the object could
+//      have reached under a speed bound — an upper envelope.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/queries.h"
+#include "moving/bead.h"
+#include "workload/city.h"
+#include "workload/trajectories.h"
+
+namespace {
+
+int Fail(const piet::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  using piet::core::QueryEngine;
+  using piet::core::TimePredicate;
+
+  piet::workload::CityConfig city_config;
+  city_config.seed = 99;
+  city_config.grid_cols = 6;
+  city_config.grid_rows = 6;
+  city_config.num_schools = 10;
+  auto city_r = piet::workload::GenerateCity(city_config);
+  if (!city_r.ok()) {
+    return Fail(city_r.status());
+  }
+  piet::workload::City city = std::move(city_r).ValueOrDie();
+
+  piet::workload::TrajectoryConfig traj;
+  traj.seed = 5;
+  traj.num_objects = 80;
+  traj.duration = 3 * 3600.0;
+  traj.sample_period = 120.0;  // Sparse sampling: drive-bys get missed.
+  traj.speed = 16.0;
+  auto moft_r = piet::workload::GenerateTrajectories(city, traj);
+  if (!moft_r.ok()) {
+    return Fail(moft_r.status());
+  }
+  piet::moving::Moft moft_copy = moft_r.ValueOrDie();  // For bead analysis.
+  if (auto s = city.db->AddMoft("cars", std::move(moft_r).ValueOrDie());
+      !s.ok()) {
+    return Fail(s);
+  }
+
+  QueryEngine engine(city.db.get());
+  const double kRadius = 25.0;
+
+  std::printf("school proximity, radius %.0f, %d schools, sampling every "
+              "%.0f s\n\n",
+              kRadius, city_config.num_schools, traj.sample_period);
+
+  auto sampled = piet::core::queries::CountNearNodesPerHour(
+      engine, "cars", city.schools_layer, kRadius, TimePredicate(),
+      /*interpolated=*/false);
+  if (!sampled.ok()) {
+    return Fail(sampled.status());
+  }
+  auto interpolated = piet::core::queries::CountNearNodesPerHour(
+      engine, "cars", city.schools_layer, kRadius, TimePredicate(),
+      /*interpolated=*/true);
+  if (!interpolated.ok()) {
+    return Fail(interpolated.status());
+  }
+
+  // Bead envelope: how many (object, school) encounters are *possible*
+  // under a 1.5x speed bound? Approximates the school's disc by a polygon.
+  auto schools = city.db->gis().GetLayer(city.schools_layer);
+  if (!schools.ok()) {
+    return Fail(schools.status());
+  }
+  int64_t possible_pairs = 0;
+  for (auto oid : moft_copy.ObjectIds()) {
+    auto sample = piet::moving::TrajectorySample::FromMoft(moft_copy, oid);
+    if (!sample.ok()) {
+      continue;
+    }
+    // Speed bound: 1.5x the fleet speed.
+    double vmax = traj.speed * 1.5;
+    for (auto school_id : schools.ValueOrDie()->ids()) {
+      auto pos = schools.ValueOrDie()->GetPoint(school_id);
+      if (!pos.ok()) {
+        continue;
+      }
+      piet::geometry::Polygon disc = piet::geometry::MakeRegularPolygon(
+          pos.ValueOrDie(), kRadius, 16);
+      auto possible = piet::moving::PossiblyPassesThrough(
+          sample.ValueOrDie(), vmax, disc);
+      if (possible.ok() && possible.ValueOrDie()) {
+        ++possible_pairs;
+      }
+    }
+  }
+
+  std::printf("%-40s %10s\n", "semantics", "result");
+  std::printf("%-40s %10lld pairs, %.2f per hour\n",
+              "sample (type 4, observed points only)",
+              static_cast<long long>(sampled.ValueOrDie().tuple_count),
+              sampled.ValueOrDie().per_hour);
+  std::printf("%-40s %10lld pairs, %.2f per hour\n",
+              "trajectory (type 7, LIT interpolation)",
+              static_cast<long long>(interpolated.ValueOrDie().tuple_count),
+              interpolated.ValueOrDie().per_hour);
+  std::printf("%-40s %10lld (object, school) encounters possible\n",
+              "bead envelope (vmax = 1.5x speed)",
+              static_cast<long long>(possible_pairs));
+
+  std::printf(
+      "\ninvariant: sample <= LIT pairs (%s); LIT visits <= bead-possible "
+      "encounters by construction\n",
+      interpolated.ValueOrDie().tuple_count >=
+              sampled.ValueOrDie().tuple_count
+          ? "holds"
+          : "VIOLATED");
+  return 0;
+}

@@ -1,0 +1,17 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace piet {
+
+double Random::NextGaussian() {
+  // Box-Muller; regenerate on the (measure-zero) chance u1 == 0.
+  double u1 = NextDouble();
+  while (u1 <= 0.0) {
+    u1 = NextDouble();
+  }
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace piet

@@ -1,0 +1,92 @@
+#ifndef PIET_COMMON_RESULT_H_
+#define PIET_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace piet {
+
+/// Holds either a value of type `T` or a non-OK `Status`. The moral
+/// equivalent of `arrow::Result<T>`: used as a return type wherever a
+/// computation can fail with a diagnosable error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success). Implicit conversion is intentional so
+  /// `return value;` works in functions returning Result<T>.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status (failure). Constructing from an OK status
+  /// is a programming error.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(rep_).ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The status: OK when a value is held.
+  Status status() const {
+    if (ok()) {
+      return Status::OK();
+    }
+    return std::get<Status>(rep_);
+  }
+
+  /// The held value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(rep_));
+  }
+
+  /// Alias for ValueOrDie, matching the std::expected spelling.
+  const T& value() const& { return ValueOrDie(); }
+  T& value() & { return ValueOrDie(); }
+  T&& value() && { return std::move(*this).ValueOrDie(); }
+
+  /// Returns the value or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const {
+    if (ok()) {
+      return std::get<T>(rep_);
+    }
+    return fallback;
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+/// Assigns the value of a Result-returning expression to `lhs`, or
+/// propagates its error status out of the enclosing function.
+#define PIET_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define PIET_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define PIET_ASSIGN_OR_RETURN_CONCAT(x, y) PIET_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define PIET_ASSIGN_OR_RETURN(lhs, expr)                                    \
+  PIET_ASSIGN_OR_RETURN_IMPL(                                               \
+      PIET_ASSIGN_OR_RETURN_CONCAT(_piet_result_tmp_, __LINE__), lhs, expr)
+
+}  // namespace piet
+
+#endif  // PIET_COMMON_RESULT_H_

@@ -1,0 +1,124 @@
+#ifndef PIET_COMMON_STATUS_H_
+#define PIET_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace piet {
+
+/// Error categories used across the library. Mirrors the Arrow/RocksDB
+/// convention: the core library reports failures through `Status` /
+/// `Result<T>` instead of exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kParseError,
+  kTypeError,
+  kUnimplemented,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("Invalid
+/// argument", "Parse error", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value. The OK status carries no
+/// allocation; error statuses carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context` prepended to the message.
+  /// OK statuses are returned unchanged.
+  Status WithContext(std::string_view context) const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Shared so Status copies are pointer-sized; error paths are cold.
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// Propagates a non-OK status out of the enclosing function.
+#define PIET_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::piet::Status _piet_status = (expr);   \
+    if (!_piet_status.ok()) {               \
+      return _piet_status;                  \
+    }                                       \
+  } while (false)
+
+}  // namespace piet
+
+#endif  // PIET_COMMON_STATUS_H_

@@ -1,0 +1,112 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+namespace piet {
+
+std::string_view ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kBool:
+      return "bool";
+  }
+  return "unknown";
+}
+
+Result<double> Value::AsNumeric() const {
+  if (is_int()) {
+    return static_cast<double>(AsIntUnchecked());
+  }
+  if (is_double()) {
+    return AsDoubleUnchecked();
+  }
+  return Status::TypeError("value is not numeric: " + ToString());
+}
+
+Result<int64_t> Value::AsInt() const {
+  if (is_int()) {
+    return AsIntUnchecked();
+  }
+  return Status::TypeError("value is not an int: " + ToString());
+}
+
+Result<std::string> Value::AsString() const {
+  if (is_string()) {
+    return AsStringUnchecked();
+  }
+  return Status::TypeError("value is not a string: " + ToString());
+}
+
+Result<bool> Value::AsBool() const {
+  if (is_bool()) {
+    return AsBoolUnchecked();
+  }
+  return Status::TypeError("value is not a bool: " + ToString());
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return std::to_string(AsIntUnchecked());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << AsDoubleUnchecked();
+      return os.str();
+    }
+    case ValueType::kString:
+      return "\"" + AsStringUnchecked() + "\"";
+    case ValueType::kBool:
+      return AsBoolUnchecked() ? "true" : "false";
+  }
+  return "unknown";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric() && a.type() != b.type()) {
+    return a.AsNumeric().ValueOrDie() == b.AsNumeric().ValueOrDie();
+  }
+  return a.rep_ == b.rep_;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    return a.AsNumeric().ValueOrDie() < b.AsNumeric().ValueOrDie();
+  }
+  return a.rep_ < b.rep_;
+}
+
+size_t ValueHash::operator()(const Value& v) const {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt:
+      return std::hash<int64_t>()(v.AsIntUnchecked());
+    case ValueType::kDouble: {
+      double d = v.AsDoubleUnchecked();
+      // Hash integral doubles like their int counterparts so that mixed
+      // int/double keys that compare equal also hash equal.
+      if (d == std::floor(d) && std::abs(d) < 1e18) {
+        return std::hash<int64_t>()(static_cast<int64_t>(d));
+      }
+      return std::hash<double>()(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>()(v.AsStringUnchecked());
+    case ValueType::kBool:
+      return std::hash<bool>()(v.AsBoolUnchecked());
+  }
+  return 0;
+}
+
+}  // namespace piet

@@ -1,0 +1,92 @@
+#ifndef PIET_COMMON_VALUE_H_
+#define PIET_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace piet {
+
+/// Type tag of a `Value`.
+enum class ValueType {
+  kNull = 0,
+  kInt,
+  kDouble,
+  kString,
+  kBool,
+};
+
+std::string_view ValueTypeToString(ValueType type);
+
+/// A dynamically-typed scalar used for dimension-level members, attribute
+/// values and measures. Ordered and hashable so it can key group-by maps.
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  Value(int64_t v) : rep_(v) {}             // NOLINT(runtime/explicit)
+  Value(int v) : rep_(int64_t{v}) {}        // NOLINT(runtime/explicit)
+  Value(double v) : rep_(v) {}              // NOLINT(runtime/explicit)
+  Value(bool v) : rep_(v) {}                // NOLINT(runtime/explicit)
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  ValueType type() const {
+    switch (rep_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kInt;
+      case 2:
+        return ValueType::kDouble;
+      case 3:
+        return ValueType::kString;
+      case 4:
+        return ValueType::kBool;
+    }
+    return ValueType::kNull;
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  /// True for int or double.
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t AsIntUnchecked() const { return std::get<int64_t>(rep_); }
+  double AsDoubleUnchecked() const { return std::get<double>(rep_); }
+  const std::string& AsStringUnchecked() const {
+    return std::get<std::string>(rep_);
+  }
+  bool AsBoolUnchecked() const { return std::get<bool>(rep_); }
+
+  /// Numeric view: ints widen to double; anything else is a TypeError.
+  Result<double> AsNumeric() const;
+  Result<int64_t> AsInt() const;
+  Result<std::string> AsString() const;
+  Result<bool> AsBool() const;
+
+  /// Renders the value for diagnostics ("null", "42", "3.5", "\"x\"").
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  /// Total order: first by type index, then by value. Numeric values of
+  /// mixed int/double type compare by numeric value.
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, bool> rep_;
+};
+
+/// Hash functor so Value can key unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const;
+};
+
+}  // namespace piet
+
+#endif  // PIET_COMMON_VALUE_H_

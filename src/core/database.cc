@@ -1,0 +1,95 @@
+#include "core/database.h"
+
+#include <algorithm>
+
+namespace piet::core {
+
+GeoOlapDatabase::GeoOlapDatabase(gis::GisDimensionInstance gis_instance)
+    : gis_(std::move(gis_instance)) {}
+
+Status GeoOlapDatabase::AddMoft(const std::string& name, moving::Moft moft) {
+  if (mofts_.count(name)) {
+    return Status::AlreadyExists("MOFT '" + name + "' already registered");
+  }
+  mofts_.emplace(name, std::move(moft));
+  return Status::OK();
+}
+
+Result<const moving::Moft*> GeoOlapDatabase::GetMoft(
+    const std::string& name) const {
+  auto it = mofts_.find(name);
+  if (it == mofts_.end()) {
+    return Status::NotFound("no MOFT '" + name + "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> GeoOlapDatabase::MoftNames() const {
+  std::vector<std::string> out;
+  out.reserve(mofts_.size());
+  for (const auto& [name, moft] : mofts_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+Status GeoOlapDatabase::AddFactTable(const std::string& name,
+                                     olap::FactTable table) {
+  if (fact_tables_.count(name)) {
+    return Status::AlreadyExists("fact table '" + name +
+                                 "' already registered");
+  }
+  fact_tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+Result<const olap::FactTable*> GeoOlapDatabase::GetFactTable(
+    const std::string& name) const {
+  auto it = fact_tables_.find(name);
+  if (it == fact_tables_.end()) {
+    return Status::NotFound("no fact table '" + name + "'");
+  }
+  return &it->second;
+}
+
+Status GeoOlapDatabase::BuildOverlay(
+    const std::vector<std::string>& layer_names, bool convex,
+    int quadtree_depth) {
+  std::vector<const gis::Layer*> layers;
+  layers.reserve(layer_names.size());
+  for (const std::string& name : layer_names) {
+    PIET_ASSIGN_OR_RETURN(const gis::Layer* layer, gis_.GetLayer(name));
+    layers.push_back(layer);
+  }
+  if (convex) {
+    PIET_ASSIGN_OR_RETURN(gis::OverlayDb db,
+                          gis::OverlayDb::BuildConvex(std::move(layers)));
+    overlay_ = std::make_unique<gis::OverlayDb>(std::move(db));
+  } else {
+    PIET_ASSIGN_OR_RETURN(
+        gis::OverlayDb db,
+        gis::OverlayDb::BuildQuadtree(std::move(layers), quadtree_depth));
+    overlay_ = std::make_unique<gis::OverlayDb>(std::move(db));
+  }
+  overlay_layers_ = layer_names;
+  return Status::OK();
+}
+
+Result<const gis::OverlayDb*> GeoOlapDatabase::overlay() const {
+  if (!overlay_) {
+    return Status::NotFound("no overlay built; call BuildOverlay first");
+  }
+  return overlay_.get();
+}
+
+Result<size_t> GeoOlapDatabase::OverlayLayerIndex(
+    const std::string& layer_name) const {
+  auto it = std::find(overlay_layers_.begin(), overlay_layers_.end(),
+                      layer_name);
+  if (it == overlay_layers_.end()) {
+    return Status::NotFound("layer '" + layer_name + "' not in the overlay");
+  }
+  return static_cast<size_t>(it - overlay_layers_.begin());
+}
+
+}  // namespace piet::core

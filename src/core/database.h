@@ -1,0 +1,63 @@
+#ifndef PIET_CORE_DATABASE_H_
+#define PIET_CORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "gis/instance.h"
+#include "gis/overlay.h"
+#include "moving/moft.h"
+#include "olap/fact_table.h"
+#include "temporal/time_dimension.h"
+
+namespace piet::core {
+
+/// The integrated GIS + OLAP + moving-objects database of the paper's
+/// framework: one GIS dimension instance (layers, α bindings, application
+/// dimensions), the Time dimension, classical fact tables, MOFTs, and an
+/// optional precomputed overlay (Sec. 5).
+class GeoOlapDatabase {
+ public:
+  explicit GeoOlapDatabase(gis::GisDimensionInstance gis_instance);
+
+  const gis::GisDimensionInstance& gis() const { return gis_; }
+  gis::GisDimensionInstance& mutable_gis() { return gis_; }
+
+  const temporal::TimeDimension& time_dimension() const { return time_dim_; }
+
+  /// Registers a MOFT under a name (e.g. "FMbus").
+  Status AddMoft(const std::string& name, moving::Moft moft);
+  Result<const moving::Moft*> GetMoft(const std::string& name) const;
+  std::vector<std::string> MoftNames() const;
+
+  /// Classical fact tables of the application part.
+  Status AddFactTable(const std::string& name, olap::FactTable table);
+  Result<const olap::FactTable*> GetFactTable(const std::string& name) const;
+
+  /// Precomputes the Sec. 5 overlay over the named polygon layers. With
+  /// `convex` the exact convex sub-polygonization is used (fails on
+  /// non-convex/non-partition layers); otherwise the quadtree overlay.
+  Status BuildOverlay(const std::vector<std::string>& layer_names,
+                      bool convex = true, int quadtree_depth = 10);
+
+  bool HasOverlay() const { return overlay_ != nullptr; }
+  Result<const gis::OverlayDb*> overlay() const;
+
+  /// The overlay-layer index of a layer name (as passed to BuildOverlay).
+  Result<size_t> OverlayLayerIndex(const std::string& layer_name) const;
+
+ private:
+  gis::GisDimensionInstance gis_;
+  temporal::TimeDimension time_dim_;
+  std::map<std::string, moving::Moft> mofts_;
+  std::map<std::string, olap::FactTable> fact_tables_;
+  std::unique_ptr<gis::OverlayDb> overlay_;
+  std::vector<std::string> overlay_layers_;
+};
+
+}  // namespace piet::core
+
+#endif  // PIET_CORE_DATABASE_H_

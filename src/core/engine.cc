@@ -1,0 +1,517 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "moving/bead.h"
+#include "moving/traj_ops.h"
+
+namespace piet::core {
+
+using gis::GeometryId;
+using gis::Layer;
+using moving::LinearTrajectory;
+using moving::Moft;
+using moving::ObjectId;
+using moving::Sample;
+using moving::TrajectorySample;
+using olap::FactTable;
+using temporal::Interval;
+using temporal::IntervalSet;
+using temporal::TimePoint;
+
+std::string_view StrategyToString(Strategy s) {
+  switch (s) {
+    case Strategy::kNaive:
+      return "naive";
+    case Strategy::kIndexed:
+      return "indexed";
+    case Strategy::kOverlay:
+      return "overlay";
+  }
+  return "unknown";
+}
+
+Result<std::vector<GeometryId>> QueryEngine::QualifyingGeometries(
+    const std::string& layer_name, const GeometryPredicate& pred) const {
+  PIET_ASSIGN_OR_RETURN(const Layer* layer, db_->gis().GetLayer(layer_name));
+  std::vector<GeometryId> out;
+  for (GeometryId id : layer->ids()) {
+    if (pred(*layer, id)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+Result<olap::FactTable> QueryEngine::SamplesMatchingTime(
+    const std::string& moft_name, const TimePredicate& when) const {
+  stats_ = EngineStats{};
+  PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
+  FactTable out = FactTable::Make({"Oid", "t", "x", "y"}, {});
+  for (const Sample& s : moft->AllSamples()) {
+    ++stats_.samples_scanned;
+    if (!when.Matches(db_->time_dimension(), s.t)) {
+      continue;
+    }
+    PIET_RETURN_NOT_OK(out.Append(
+        {Value(s.oid), Value(s.t.seconds), Value(s.pos.x), Value(s.pos.y)}));
+  }
+  return out;
+}
+
+Result<QueryEngine::LocateContext> QueryEngine::MakeLocateContext(
+    const std::string& layer_name, const GeometryPredicate& pred,
+    Strategy strategy) const {
+  LocateContext ctx;
+  ctx.strategy = strategy;
+  PIET_ASSIGN_OR_RETURN(ctx.layer, db_->gis().GetLayer(layer_name));
+  if (ctx.layer->kind() != gis::GeometryKind::kPolygon) {
+    return Status::InvalidArgument("sample location needs a polygon layer");
+  }
+  PIET_ASSIGN_OR_RETURN(ctx.qualifying,
+                        QualifyingGeometries(layer_name, pred));
+  ctx.wanted.assign(ctx.layer->size(), 0);
+  for (GeometryId id : ctx.qualifying) {
+    auto pg = ctx.layer->GetPolygon(id);
+    if (pg.ok()) {
+      ctx.qualifying_polygons.push_back(pg.ValueOrDie());
+      ctx.wanted[static_cast<size_t>(id)] = 1;
+    }
+  }
+  if (strategy == Strategy::kOverlay) {
+    PIET_ASSIGN_OR_RETURN(ctx.overlay, db_->overlay());
+    PIET_ASSIGN_OR_RETURN(ctx.overlay_layer,
+                          db_->OverlayLayerIndex(layer_name));
+  }
+  return ctx;
+}
+
+void QueryEngine::LocateSample(const LocateContext& ctx, geometry::Point p,
+                               std::vector<GeometryId>* hits) const {
+  hits->clear();
+  switch (ctx.strategy) {
+    case Strategy::kNaive: {
+      for (size_t i = 0; i < ctx.qualifying_polygons.size(); ++i) {
+        ++stats_.point_tests;
+        if (ctx.qualifying_polygons[i]->Contains(p)) {
+          hits->push_back(ctx.qualifying[i]);
+        }
+      }
+      return;
+    }
+    case Strategy::kIndexed: {
+      for (GeometryId id : ctx.layer->GeometriesContaining(p)) {
+        ++stats_.point_tests;  // GeometriesContaining did the exact test.
+        if (ctx.wanted[static_cast<size_t>(id)]) {
+          hits->push_back(id);
+        }
+      }
+      return;
+    }
+    case Strategy::kOverlay: {
+      ctx.overlay->LocateInLayerInto(p, ctx.overlay_layer, hits);
+      // Filter in place by the qualifying bitmap.
+      size_t kept = 0;
+      for (GeometryId id : *hits) {
+        if (ctx.wanted[static_cast<size_t>(id)]) {
+          (*hits)[kept++] = id;
+        }
+      }
+      hits->resize(kept);
+      return;
+    }
+  }
+}
+
+Result<FactTable> QueryEngine::SampleRegion(const std::string& moft_name,
+                                            const std::string& layer_name,
+                                            const GeometryPredicate& pred,
+                                            const TimePredicate& when,
+                                            Strategy strategy) const {
+  stats_ = EngineStats{};
+  PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
+  PIET_ASSIGN_OR_RETURN(LocateContext ctx,
+                        MakeLocateContext(layer_name, pred, strategy));
+
+  FactTable out = FactTable::Make({"Oid", "t", "geom"}, {});
+  std::vector<GeometryId> hits;
+  for (const Sample& s : moft->AllSamples()) {
+    ++stats_.samples_scanned;
+    if (!when.Matches(db_->time_dimension(), s.t)) {
+      continue;
+    }
+    LocateSample(ctx, s.pos, &hits);
+    for (GeometryId g : hits) {
+      PIET_RETURN_NOT_OK(
+          out.Append({Value(s.oid), Value(s.t.seconds), Value(g)}));
+    }
+  }
+  return out;
+}
+
+Result<FactTable> QueryEngine::SamplesOnPolylines(
+    const std::string& moft_name, const std::string& layer_name,
+    double tolerance, const TimePredicate& when) const {
+  stats_ = EngineStats{};
+  PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
+  PIET_ASSIGN_OR_RETURN(const Layer* layer, db_->gis().GetLayer(layer_name));
+  if (layer->kind() != gis::GeometryKind::kPolyline &&
+      layer->kind() != gis::GeometryKind::kLine) {
+    return Status::InvalidArgument("SamplesOnPolylines needs a line layer");
+  }
+  FactTable out = FactTable::Make({"Oid", "t", "geom"}, {});
+  for (const Sample& s : moft->AllSamples()) {
+    ++stats_.samples_scanned;
+    if (!when.Matches(db_->time_dimension(), s.t)) {
+      continue;
+    }
+    geometry::BoundingBox probe(s.pos.x - tolerance, s.pos.y - tolerance,
+                                s.pos.x + tolerance, s.pos.y + tolerance);
+    for (GeometryId id : layer->CandidatesInBox(probe)) {
+      auto line = layer->GetPolyline(id);
+      if (!line.ok()) {
+        continue;
+      }
+      ++stats_.point_tests;
+      if (line.ValueOrDie()->DistanceTo(s.pos) <= tolerance) {
+        PIET_RETURN_NOT_OK(
+            out.Append({Value(s.oid), Value(s.t.seconds), Value(id)}));
+      }
+    }
+  }
+  return out;
+}
+
+Result<FactTable> QueryEngine::SamplesNearNodes(
+    const std::string& moft_name, const std::string& layer_name, double radius,
+    const TimePredicate& when) const {
+  stats_ = EngineStats{};
+  PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
+  PIET_ASSIGN_OR_RETURN(const Layer* layer, db_->gis().GetLayer(layer_name));
+  if (layer->kind() != gis::GeometryKind::kNode &&
+      layer->kind() != gis::GeometryKind::kPoint) {
+    return Status::InvalidArgument("SamplesNearNodes needs a node layer");
+  }
+  FactTable out = FactTable::Make({"Oid", "t", "node"}, {});
+  for (const Sample& s : moft->AllSamples()) {
+    ++stats_.samples_scanned;
+    if (!when.Matches(db_->time_dimension(), s.t)) {
+      continue;
+    }
+    geometry::BoundingBox probe(s.pos.x - radius, s.pos.y - radius,
+                                s.pos.x + radius, s.pos.y + radius);
+    for (GeometryId id : layer->CandidatesInBox(probe)) {
+      auto node = layer->GetPoint(id);
+      if (!node.ok()) {
+        continue;
+      }
+      ++stats_.point_tests;
+      if (Distance(node.ValueOrDie(), s.pos) <= radius) {
+        PIET_RETURN_NOT_OK(
+            out.Append({Value(s.oid), Value(s.t.seconds), Value(id)}));
+      }
+    }
+  }
+  return out;
+}
+
+Result<FactTable> QueryEngine::SnapshotInRegion(const std::string& moft_name,
+                                                const std::string& layer_name,
+                                                const GeometryPredicate& pred,
+                                                TimePoint t) const {
+  stats_ = EngineStats{};
+  PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
+  PIET_ASSIGN_OR_RETURN(const Layer* layer, db_->gis().GetLayer(layer_name));
+  PIET_ASSIGN_OR_RETURN(std::vector<GeometryId> qualifying,
+                        QualifyingGeometries(layer_name, pred));
+
+  FactTable out = FactTable::Make({"Oid", "x", "y", "geom"}, {});
+  for (ObjectId oid : moft->ObjectIds()) {
+    PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
+                          TrajectorySample::FromMoft(*moft, oid));
+    PIET_ASSIGN_OR_RETURN(LinearTrajectory traj,
+                          LinearTrajectory::FromSample(std::move(sample)));
+    std::optional<geometry::Point> pos = traj.PositionAt(t);
+    if (!pos) {
+      continue;
+    }
+    ++stats_.samples_scanned;
+    for (GeometryId id : qualifying) {
+      auto pg = layer->GetPolygon(id);
+      if (!pg.ok()) {
+        continue;
+      }
+      ++stats_.point_tests;
+      if (pg.ValueOrDie()->Contains(*pos)) {
+        PIET_RETURN_NOT_OK(out.Append(
+            {Value(oid), Value(pos->x), Value(pos->y), Value(id)}));
+      }
+    }
+  }
+  return out;
+}
+
+Result<FactTable> QueryEngine::TrajectoryRegion(const std::string& moft_name,
+                                                const std::string& layer_name,
+                                                const GeometryPredicate& pred,
+                                                const TimePredicate& when) const {
+  stats_ = EngineStats{};
+  PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
+  PIET_ASSIGN_OR_RETURN(const Layer* layer, db_->gis().GetLayer(layer_name));
+  if (layer->kind() != gis::GeometryKind::kPolygon) {
+    return Status::InvalidArgument("TrajectoryRegion needs a polygon layer");
+  }
+  PIET_ASSIGN_OR_RETURN(std::vector<GeometryId> qualifying,
+                        QualifyingGeometries(layer_name, pred));
+
+  FactTable out = FactTable::Make({"Oid", "geom", "enter", "leave"}, {});
+  for (ObjectId oid : moft->ObjectIds()) {
+    PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
+                          TrajectorySample::FromMoft(*moft, oid));
+    PIET_ASSIGN_OR_RETURN(LinearTrajectory traj,
+                          LinearTrajectory::FromSample(std::move(sample)));
+    Interval domain = traj.TimeDomain();
+    IntervalSet time_ok;
+    if (when.unconstrained()) {
+      time_ok = IntervalSet({domain});
+    } else {
+      PIET_ASSIGN_OR_RETURN(
+          time_ok, when.MatchingIntervals(db_->time_dimension(), domain));
+    }
+    if (time_ok.empty()) {
+      continue;
+    }
+    stats_.legs_tested += traj.Legs().size();
+    for (GeometryId id : qualifying) {
+      auto pg = layer->GetPolygon(id);
+      if (!pg.ok()) {
+        continue;
+      }
+      IntervalSet inside = moving::InsideIntervals(traj, *pg.ValueOrDie());
+      IntervalSet matched = inside.Intersect(time_ok);
+      for (const Interval& iv : matched.intervals()) {
+        PIET_RETURN_NOT_OK(out.Append({Value(oid), Value(id),
+                                       Value(iv.begin.seconds),
+                                       Value(iv.end.seconds)}));
+      }
+    }
+  }
+  return out;
+}
+
+Result<FactTable> QueryEngine::TrajectoryNearNodes(
+    const std::string& moft_name, const std::string& layer_name, double radius,
+    const TimePredicate& when) const {
+  stats_ = EngineStats{};
+  PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
+  PIET_ASSIGN_OR_RETURN(const Layer* layer, db_->gis().GetLayer(layer_name));
+  if (layer->kind() != gis::GeometryKind::kNode &&
+      layer->kind() != gis::GeometryKind::kPoint) {
+    return Status::InvalidArgument("TrajectoryNearNodes needs a node layer");
+  }
+
+  FactTable out = FactTable::Make({"Oid", "node", "enter", "leave"}, {});
+  for (ObjectId oid : moft->ObjectIds()) {
+    PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
+                          TrajectorySample::FromMoft(*moft, oid));
+    PIET_ASSIGN_OR_RETURN(LinearTrajectory traj,
+                          LinearTrajectory::FromSample(std::move(sample)));
+    Interval domain = traj.TimeDomain();
+    IntervalSet time_ok;
+    if (when.unconstrained()) {
+      time_ok = IntervalSet({domain});
+    } else {
+      PIET_ASSIGN_OR_RETURN(
+          time_ok, when.MatchingIntervals(db_->time_dimension(), domain));
+    }
+    if (time_ok.empty()) {
+      continue;
+    }
+    stats_.legs_tested += traj.Legs().size();
+    // Candidate nodes: those within radius of the trajectory's bounds.
+    geometry::BoundingBox probe;
+    for (const moving::TimedPoint& tp : traj.sample().points()) {
+      probe.ExtendWith(tp.pos);
+    }
+    geometry::BoundingBox expanded(probe.min_x - radius, probe.min_y - radius,
+                                   probe.max_x + radius, probe.max_y + radius);
+    for (GeometryId id : layer->CandidatesInBox(expanded)) {
+      auto node = layer->GetPoint(id);
+      if (!node.ok()) {
+        continue;
+      }
+      ++stats_.point_tests;
+      IntervalSet near =
+          moving::WithinDistanceIntervals(traj, node.ValueOrDie(), radius);
+      IntervalSet matched = near.Intersect(time_ok);
+      for (const Interval& iv : matched.intervals()) {
+        PIET_RETURN_NOT_OK(out.Append({Value(oid), Value(id),
+                                       Value(iv.begin.seconds),
+                                       Value(iv.end.seconds)}));
+      }
+    }
+  }
+  return out;
+}
+
+Result<FactTable> QueryEngine::TrajectoryAggregates(
+    const std::string& moft_name, const std::string& layer_name,
+    const GeometryPredicate& pred) const {
+  stats_ = EngineStats{};
+  PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
+  PIET_ASSIGN_OR_RETURN(const Layer* layer, db_->gis().GetLayer(layer_name));
+  if (layer->kind() != gis::GeometryKind::kPolygon) {
+    return Status::InvalidArgument("TrajectoryAggregates needs a polygon layer");
+  }
+  PIET_ASSIGN_OR_RETURN(std::vector<GeometryId> qualifying,
+                        QualifyingGeometries(layer_name, pred));
+
+  FactTable out = FactTable::Make({"Oid", "geom"},
+                                  {"distance", "seconds", "visits"});
+  for (ObjectId oid : moft->ObjectIds()) {
+    PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
+                          TrajectorySample::FromMoft(*moft, oid));
+    PIET_ASSIGN_OR_RETURN(LinearTrajectory traj,
+                          LinearTrajectory::FromSample(std::move(sample)));
+    stats_.legs_tested += traj.Legs().size();
+    for (GeometryId id : qualifying) {
+      auto pg = layer->GetPolygon(id);
+      if (!pg.ok()) {
+        continue;
+      }
+      IntervalSet inside = moving::InsideIntervals(traj, *pg.ValueOrDie());
+      if (inside.empty()) {
+        continue;
+      }
+      double distance =
+          moving::DistanceTravelledInside(traj, *pg.ValueOrDie());
+      PIET_RETURN_NOT_OK(out.Append(
+          {Value(oid), Value(id), Value(distance),
+           Value(inside.TotalLength()),
+           Value(static_cast<int64_t>(inside.size()))}));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<ObjectId>> QueryEngine::ObjectsPossiblyWithin(
+    const std::string& moft_name, const std::string& layer_name,
+    const GeometryPredicate& pred, double vmax) const {
+  stats_ = EngineStats{};
+  PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
+  PIET_ASSIGN_OR_RETURN(const Layer* layer, db_->gis().GetLayer(layer_name));
+  if (layer->kind() != gis::GeometryKind::kPolygon) {
+    return Status::InvalidArgument(
+        "ObjectsPossiblyWithin needs a polygon layer");
+  }
+  PIET_ASSIGN_OR_RETURN(std::vector<GeometryId> qualifying,
+                        QualifyingGeometries(layer_name, pred));
+  std::vector<ObjectId> out;
+  for (ObjectId oid : moft->ObjectIds()) {
+    PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
+                          TrajectorySample::FromMoft(*moft, oid));
+    stats_.legs_tested +=
+        sample.size() > 0 ? sample.size() - 1 : 0;
+    bool possible = false;
+    for (GeometryId id : qualifying) {
+      auto pg = layer->GetPolygon(id);
+      if (!pg.ok()) {
+        continue;
+      }
+      PIET_ASSIGN_OR_RETURN(
+          bool hit,
+          moving::PossiblyPassesThrough(sample, vmax, *pg.ValueOrDie()));
+      if (hit) {
+        possible = true;
+        break;
+      }
+    }
+    if (possible) {
+      out.push_back(oid);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<ObjectId>> QueryEngine::ObjectsAlwaysWithin(
+    const std::string& moft_name, const std::string& layer_name,
+    const GeometryPredicate& pred, const TimePredicate& when,
+    bool trajectory_semantics) const {
+  stats_ = EngineStats{};
+  PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
+  PIET_ASSIGN_OR_RETURN(const Layer* layer, db_->gis().GetLayer(layer_name));
+  PIET_ASSIGN_OR_RETURN(std::vector<GeometryId> qualifying,
+                        QualifyingGeometries(layer_name, pred));
+
+  std::vector<ObjectId> out;
+  for (ObjectId oid : moft->ObjectIds()) {
+    bool ok = true;
+    bool any = false;
+    if (trajectory_semantics) {
+      PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
+                            TrajectorySample::FromMoft(*moft, oid));
+      PIET_ASSIGN_OR_RETURN(LinearTrajectory traj,
+                            LinearTrajectory::FromSample(std::move(sample)));
+      Interval domain = traj.TimeDomain();
+      IntervalSet time_ok;
+      if (when.unconstrained()) {
+        time_ok = IntervalSet({domain});
+      } else {
+        PIET_ASSIGN_OR_RETURN(
+            time_ok, when.MatchingIntervals(db_->time_dimension(), domain));
+      }
+      if (time_ok.empty()) {
+        continue;
+      }
+      stats_.legs_tested += traj.Legs().size();
+      // Union of inside intervals over all qualifying polygons must cover
+      // every time-matching instant of the domain.
+      IntervalSet inside_union;
+      for (GeometryId id : qualifying) {
+        auto pg = layer->GetPolygon(id);
+        if (!pg.ok()) {
+          continue;
+        }
+        inside_union =
+            inside_union.Union(moving::InsideIntervals(traj, *pg.ValueOrDie()));
+      }
+      IntervalSet required = time_ok;
+      IntervalSet covered = required.Intersect(inside_union);
+      any = !required.empty();
+      ok = covered.TotalLength() >= required.TotalLength() - 1e-9 &&
+           covered.size() == required.size();
+    } else {
+      for (const Sample& s : moft->SamplesOf(oid)) {
+        ++stats_.samples_scanned;
+        if (!when.Matches(db_->time_dimension(), s.t)) {
+          continue;
+        }
+        any = true;
+        bool inside = false;
+        for (GeometryId id : qualifying) {
+          auto pg = layer->GetPolygon(id);
+          if (!pg.ok()) {
+            continue;
+          }
+          ++stats_.point_tests;
+          if (pg.ValueOrDie()->Contains(s.pos)) {
+            inside = true;
+            break;
+          }
+        }
+        if (!inside) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok && any) {
+      out.push_back(oid);
+    }
+  }
+  return out;
+}
+
+}  // namespace piet::core

@@ -1,0 +1,167 @@
+#ifndef PIET_CORE_ENGINE_H_
+#define PIET_CORE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/database.h"
+#include "core/region.h"
+#include "moving/trajectory.h"
+#include "olap/fact_table.h"
+
+namespace piet::core {
+
+/// How sample/region matching is evaluated (Sec. 5):
+///  * kNaive    — scan every qualifying polygon per sample; no index.
+///  * kIndexed  — per-layer R-tree point queries.
+///  * kOverlay  — point location against the precomputed Piet overlay
+///                (requires GeoOlapDatabase::BuildOverlay). Amortizes
+///                geometric work across queries — the paper's strategy.
+enum class Strategy {
+  kNaive = 0,
+  kIndexed,
+  kOverlay,
+};
+
+std::string_view StrategyToString(Strategy s);
+
+/// Work counters for one engine call (benchmark instrumentation).
+struct EngineStats {
+  size_t samples_scanned = 0;  ///< MOFT rows visited.
+  size_t point_tests = 0;      ///< Exact point-in-polygon tests.
+  size_t legs_tested = 0;      ///< Trajectory legs geometrically processed.
+};
+
+/// Evaluates the paper's spatio-temporal aggregate queries against a
+/// GeoOlapDatabase. Each method produces the *region C* as a finite
+/// relation (a FactTable); classical aggregation (olap::Aggregate, Def. 7)
+/// is then applied by the caller or by the helpers in queries.h.
+class QueryEngine {
+ public:
+  /// `db` must outlive the engine.
+  explicit QueryEngine(const GeoOlapDatabase* db) : db_(db) {}
+
+  const GeoOlapDatabase& db() const { return *db_; }
+
+  // -- Type 3: trajectory samples only ----------------------------------
+
+  /// C = {(Oid, t, x, y) | FM(Oid,t,x,y) ∧ time constraints}.
+  Result<olap::FactTable> SamplesMatchingTime(const std::string& moft,
+                                              const TimePredicate& when) const;
+
+  // -- Type 4: samples + geometric condition ----------------------------
+
+  /// C = {(Oid, t, g) | FM(Oid,t,x,y) ∧ r^{Pt,Pg}(x,y,g) ∧ pred(g) ∧ time}.
+  /// Sample semantics: only observed positions count. A sample on a shared
+  /// boundary yields one tuple per containing polygon.
+  Result<olap::FactTable> SampleRegion(const std::string& moft,
+                                       const std::string& layer,
+                                       const GeometryPredicate& pred,
+                                       const TimePredicate& when,
+                                       Strategy strategy) const;
+
+  /// Variant matching samples to *polyline* geometries within `tolerance`
+  /// (the paper's r^{Pt,Pl} for streets). C = {(Oid, t, pl)}.
+  Result<olap::FactTable> SamplesOnPolylines(const std::string& moft,
+                                             const std::string& layer,
+                                             double tolerance,
+                                             const TimePredicate& when) const;
+
+  /// Proximity variant for node layers (paper queries 6/7):
+  /// C = {(Oid, t, node) | dist(sample, node) <= radius ∧ time}.
+  Result<olap::FactTable> SamplesNearNodes(const std::string& moft,
+                                           const std::string& layer,
+                                           double radius,
+                                           const TimePredicate& when) const;
+
+  // -- Type 6: trajectory as spatial object / snapshots ------------------
+
+  /// Interpolated positions at instant `t`:
+  /// C = {(Oid, x, y, g) | LIT position at t inside qualifying g}.
+  Result<olap::FactTable> SnapshotInRegion(const std::string& moft,
+                                           const std::string& layer,
+                                           const GeometryPredicate& pred,
+                                           temporal::TimePoint t) const;
+
+  // -- Type 7: interpolated trajectory conditions ------------------------
+
+  /// Time intervals each object's LIT spends inside qualifying polygons,
+  /// clipped to the time predicate. C = {(Oid, g, enter, leave)}.
+  /// Zero-length grazing contacts are kept (duration 0).
+  Result<olap::FactTable> TrajectoryRegion(const std::string& moft,
+                                           const std::string& layer,
+                                           const GeometryPredicate& pred,
+                                           const TimePredicate& when) const;
+
+  /// Interpolated proximity: intervals within `radius` of qualifying nodes.
+  /// C = {(Oid, node, enter, leave)}.
+  Result<olap::FactTable> TrajectoryNearNodes(const std::string& moft,
+                                              const std::string& layer,
+                                              double radius,
+                                              const TimePredicate& when) const;
+
+  /// Object ids whose observed samples (sample semantics) or whole LIT
+  /// (trajectory semantics) never leave the union of qualifying polygons —
+  /// the paper's "passing completely through" (query 3).
+  Result<std::vector<moving::ObjectId>> ObjectsAlwaysWithin(
+      const std::string& moft, const std::string& layer,
+      const GeometryPredicate& pred, const TimePredicate& when,
+      bool trajectory_semantics) const;
+
+  // -- Type 8: aggregation over a trajectory ------------------------------
+
+  /// Per-object trajectory aggregates against qualifying polygons:
+  /// C = {(Oid, g, distance, seconds, visits)} with travelled distance,
+  /// time inside, and entry count per (object, region). Rows with zero
+  /// contact are omitted.
+  Result<olap::FactTable> TrajectoryAggregates(const std::string& moft,
+                                               const std::string& layer,
+                                               const GeometryPredicate& pred)
+      const;
+
+  /// Uncertainty variant (lifeline beads): object ids that *could* have
+  /// visited a qualifying polygon under speed bound `vmax` — a superset of
+  /// the LIT passes-through objects. Fails if any object's samples are
+  /// inconsistent with `vmax`.
+  Result<std::vector<moving::ObjectId>> ObjectsPossiblyWithin(
+      const std::string& moft, const std::string& layer,
+      const GeometryPredicate& pred, double vmax) const;
+
+  // -- Geometry-side helper ----------------------------------------------
+
+  /// Ids of `layer` geometries satisfying `pred` (the geometric half of C,
+  /// what the Piet-QL geometric part returns).
+  Result<std::vector<gis::GeometryId>> QualifyingGeometries(
+      const std::string& layer, const GeometryPredicate& pred) const;
+
+  /// Counters from the most recent call.
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  /// Per-query context resolved once before the sample loop.
+  struct LocateContext {
+    const gis::Layer* layer = nullptr;
+    Strategy strategy = Strategy::kNaive;
+    std::vector<gis::GeometryId> qualifying;
+    std::vector<const geometry::Polygon*> qualifying_polygons;
+    std::vector<char> wanted;  // Dense membership bitmap by geometry id.
+    const gis::OverlayDb* overlay = nullptr;
+    size_t overlay_layer = 0;
+  };
+
+  Result<LocateContext> MakeLocateContext(const std::string& layer_name,
+                                          const GeometryPredicate& pred,
+                                          Strategy strategy) const;
+
+  /// Sample -> containing qualifying polygons; writes into `hits`.
+  void LocateSample(const LocateContext& ctx, geometry::Point p,
+                    std::vector<gis::GeometryId>* hits) const;
+
+  const GeoOlapDatabase* db_;
+  mutable EngineStats stats_;
+};
+
+}  // namespace piet::core
+
+#endif  // PIET_CORE_ENGINE_H_

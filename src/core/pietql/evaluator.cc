@@ -1,0 +1,408 @@
+#include "core/pietql/evaluator.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/pietql/parser.h"
+#include "core/region.h"
+#include "geometry/segment_polygon.h"
+#include "moving/traj_ops.h"
+#include "moving/trajectory.h"
+#include "temporal/time_dimension.h"
+
+namespace piet::core::pietql {
+
+using gis::GeometryId;
+using gis::GeometryKind;
+using gis::Layer;
+using moving::LinearTrajectory;
+using moving::Moft;
+using moving::ObjectId;
+using moving::TrajectorySample;
+using olap::FactTable;
+using temporal::Interval;
+using temporal::IntervalSet;
+using temporal::TimePoint;
+
+std::string QueryResult::ToString() const {
+  std::ostringstream os;
+  os << "result layer '" << result_layer << "': " << geometry_ids.size()
+     << " geometries";
+  if (scalar) {
+    os << "; aggregate = " << scalar->ToString();
+  }
+  if (table) {
+    os << "\n" << table->ToString();
+  }
+  return os.str();
+}
+
+Result<bool> Evaluator::ElementsIntersect(const Layer& a, GeometryId ida,
+                                          const Layer& b,
+                                          GeometryId idb) const {
+  auto kind_pair = [](GeometryKind x) {
+    // Collapse point/node and line/polyline.
+    if (x == GeometryKind::kNode) {
+      return GeometryKind::kPoint;
+    }
+    if (x == GeometryKind::kLine) {
+      return GeometryKind::kPolyline;
+    }
+    return x;
+  };
+  GeometryKind ka = kind_pair(a.kind());
+  GeometryKind kb = kind_pair(b.kind());
+
+  if (ka == GeometryKind::kPolygon && kb == GeometryKind::kPolygon) {
+    PIET_ASSIGN_OR_RETURN(const geometry::Polygon* pa, a.GetPolygon(ida));
+    PIET_ASSIGN_OR_RETURN(const geometry::Polygon* pb, b.GetPolygon(idb));
+    return pa->Intersects(*pb);
+  }
+  if (ka == GeometryKind::kPolygon && kb == GeometryKind::kPolyline) {
+    PIET_ASSIGN_OR_RETURN(const geometry::Polygon* pa, a.GetPolygon(ida));
+    PIET_ASSIGN_OR_RETURN(const geometry::Polyline* lb, b.GetPolyline(idb));
+    for (size_t i = 0; i < lb->num_segments(); ++i) {
+      if (geometry::SegmentIntersectsPolygon(lb->segment(i), *pa)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  if (ka == GeometryKind::kPolyline && kb == GeometryKind::kPolygon) {
+    return ElementsIntersect(b, idb, a, ida);
+  }
+  if (ka == GeometryKind::kPolygon && kb == GeometryKind::kPoint) {
+    PIET_ASSIGN_OR_RETURN(const geometry::Polygon* pa, a.GetPolygon(ida));
+    PIET_ASSIGN_OR_RETURN(geometry::Point pb, b.GetPoint(idb));
+    return pa->Contains(pb);
+  }
+  if (ka == GeometryKind::kPoint && kb == GeometryKind::kPolygon) {
+    return ElementsIntersect(b, idb, a, ida);
+  }
+  if (ka == GeometryKind::kPolyline && kb == GeometryKind::kPolyline) {
+    PIET_ASSIGN_OR_RETURN(const geometry::Polyline* la, a.GetPolyline(ida));
+    PIET_ASSIGN_OR_RETURN(const geometry::Polyline* lb, b.GetPolyline(idb));
+    return la->Intersects(*lb);
+  }
+  if (ka == GeometryKind::kPolyline && kb == GeometryKind::kPoint) {
+    PIET_ASSIGN_OR_RETURN(const geometry::Polyline* la, a.GetPolyline(ida));
+    PIET_ASSIGN_OR_RETURN(geometry::Point pb, b.GetPoint(idb));
+    return la->Contains(pb);
+  }
+  if (ka == GeometryKind::kPoint && kb == GeometryKind::kPolyline) {
+    return ElementsIntersect(b, idb, a, ida);
+  }
+  if (ka == GeometryKind::kPoint && kb == GeometryKind::kPoint) {
+    PIET_ASSIGN_OR_RETURN(geometry::Point pa, a.GetPoint(ida));
+    PIET_ASSIGN_OR_RETURN(geometry::Point pb, b.GetPoint(idb));
+    return pa == pb;
+  }
+  return Status::Unimplemented("unsupported geometry kind combination");
+}
+
+Result<bool> Evaluator::ElementContains(const Layer& a, GeometryId ida,
+                                        const Layer& b, GeometryId idb) const {
+  if (a.kind() != GeometryKind::kPolygon) {
+    return Status::InvalidArgument("CONTAINS needs a polygon left layer");
+  }
+  PIET_ASSIGN_OR_RETURN(const geometry::Polygon* pa, a.GetPolygon(ida));
+  switch (b.kind()) {
+    case GeometryKind::kPoint:
+    case GeometryKind::kNode: {
+      PIET_ASSIGN_OR_RETURN(geometry::Point pb, b.GetPoint(idb));
+      return pa->Contains(pb);
+    }
+    case GeometryKind::kPolygon: {
+      PIET_ASSIGN_OR_RETURN(const geometry::Polygon* pb, b.GetPolygon(idb));
+      return pa->ContainsPolygon(*pb);
+    }
+    case GeometryKind::kLine:
+    case GeometryKind::kPolyline: {
+      PIET_ASSIGN_OR_RETURN(const geometry::Polyline* lb, b.GetPolyline(idb));
+      for (const geometry::Point& v : lb->vertices()) {
+        if (!pa->Contains(v)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case GeometryKind::kAll:
+      break;
+  }
+  return Status::Unimplemented("unsupported CONTAINS operand");
+}
+
+namespace {
+
+bool CompareValues(const Value& lhs, CompareOp op, const Value& rhs) {
+  switch (op) {
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kGt:
+      return rhs < lhs;
+    case CompareOp::kLe:
+      return !(rhs < lhs);
+    case CompareOp::kGe:
+      return !(lhs < rhs);
+    case CompareOp::kEq:
+      return lhs == rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<GeometryId>> Evaluator::EvaluateGeoPart(
+    const GeoQuery& geo) const {
+  if (geo.select.empty()) {
+    return Status::InvalidArgument("geometric part selects no layer");
+  }
+  const std::string& result_layer = geo.select.front().name;
+  PIET_ASSIGN_OR_RETURN(const Layer* layer,
+                        db_->gis().GetLayer(result_layer));
+
+  std::vector<GeometryId> current(layer->ids());
+  for (const GeoCondition& cond : geo.where) {
+    if (cond.a.name != result_layer) {
+      return Status::InvalidArgument(
+          "conditions must constrain the result layer '" + result_layer +
+          "' (got '" + cond.a.name + "')");
+    }
+    std::vector<GeometryId> next;
+    switch (cond.kind) {
+      case GeoCondition::Kind::kAttrCompare: {
+        for (GeometryId id : current) {
+          auto v = layer->GetAttribute(id, cond.attribute);
+          if (v.ok() && CompareValues(v.ValueOrDie(), cond.op, cond.literal)) {
+            next.push_back(id);
+          }
+        }
+        break;
+      }
+      case GeoCondition::Kind::kIntersection:
+      case GeoCondition::Kind::kContains: {
+        PIET_ASSIGN_OR_RETURN(const Layer* other,
+                              db_->gis().GetLayer(cond.b.name));
+        for (GeometryId id : current) {
+          bool keep = false;
+          // Prune with the other layer's R-tree.
+          auto bounds = layer->BoundsOf(id);
+          if (!bounds.ok()) {
+            continue;
+          }
+          for (GeometryId ob :
+               other->CandidatesInBox(bounds.ValueOrDie())) {
+            Result<bool> hit =
+                (cond.kind == GeoCondition::Kind::kIntersection)
+                    ? ElementsIntersect(*layer, id, *other, ob)
+                    : ElementContains(*layer, id, *other, ob);
+            if (hit.ok() && hit.ValueOrDie()) {
+              keep = true;
+              break;
+            }
+          }
+          if (keep) {
+            next.push_back(id);
+          }
+        }
+        break;
+      }
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
+  QueryResult result;
+  result.result_layer = query.geo.select.front().name;
+  PIET_ASSIGN_OR_RETURN(result.geometry_ids, EvaluateGeoPart(query.geo));
+  if (!query.mo) {
+    return result;
+  }
+
+  const MoQuery& mo = *query.mo;
+  PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(mo.moft));
+  PIET_ASSIGN_OR_RETURN(const Layer* layer,
+                        db_->gis().GetLayer(result.result_layer));
+
+  // Split conditions into the time predicate and the spatial mode.
+  TimePredicate when;
+  bool inside_result = false;
+  bool passes_through = false;
+  const MoCondition* near_cond = nullptr;
+  for (const MoCondition& cond : mo.where) {
+    switch (cond.kind) {
+      case MoCondition::Kind::kInsideResult:
+        inside_result = true;
+        break;
+      case MoCondition::Kind::kPassesThroughResult:
+        passes_through = true;
+        break;
+      case MoCondition::Kind::kTimeEquals:
+        when.RollupEquals(cond.time_level, cond.literal);
+        break;
+      case MoCondition::Kind::kTimeBetween:
+        when.Window(Interval(TimePoint(cond.t0), TimePoint(cond.t1)));
+        break;
+      case MoCondition::Kind::kNearLayer:
+        near_cond = &cond;
+        break;
+    }
+  }
+  if ((inside_result ? 1 : 0) + (passes_through ? 1 : 0) +
+          (near_cond != nullptr ? 1 : 0) >
+      1) {
+    return Status::InvalidArgument(
+        "INSIDE RESULT, PASSES THROUGH RESULT and NEAR are mutually "
+        "exclusive");
+  }
+  if ((inside_result || passes_through) &&
+      layer->kind() != GeometryKind::kPolygon) {
+    return Status::InvalidArgument(
+        "spatial moving-object conditions need a polygon result layer");
+  }
+
+  // Build the region C as (Oid, t) tuples.
+  std::set<GeometryId> wanted(result.geometry_ids.begin(),
+                              result.geometry_ids.end());
+  std::vector<std::pair<ObjectId, double>> tuples;
+
+  if (passes_through) {
+    // Trajectory semantics: each maximal inside interval contributes a
+    // tuple stamped at its entry time.
+    for (ObjectId oid : moft->ObjectIds()) {
+      PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
+                            TrajectorySample::FromMoft(*moft, oid));
+      PIET_ASSIGN_OR_RETURN(LinearTrajectory traj,
+                            LinearTrajectory::FromSample(std::move(sample)));
+      Interval domain = traj.TimeDomain();
+      IntervalSet time_ok;
+      if (when.unconstrained()) {
+        time_ok = IntervalSet({domain});
+      } else {
+        PIET_ASSIGN_OR_RETURN(
+            time_ok, when.MatchingIntervals(db_->time_dimension(), domain));
+      }
+      if (time_ok.empty()) {
+        continue;
+      }
+      for (GeometryId id : wanted) {
+        auto pg = layer->GetPolygon(id);
+        if (!pg.ok()) {
+          continue;
+        }
+        IntervalSet inside = moving::InsideIntervals(traj, *pg.ValueOrDie());
+        IntervalSet matched = inside.Intersect(time_ok);
+        for (const Interval& iv : matched.intervals()) {
+          tuples.emplace_back(oid, iv.begin.seconds);
+        }
+      }
+    }
+  } else if (near_cond != nullptr) {
+    // Sample-proximity semantics: tuples within `radius` of any node of
+    // the named layer.
+    PIET_ASSIGN_OR_RETURN(const Layer* nodes,
+                          db_->gis().GetLayer(near_cond->near_layer));
+    if (nodes->kind() != GeometryKind::kNode &&
+        nodes->kind() != GeometryKind::kPoint) {
+      return Status::InvalidArgument("NEAR needs a point/node layer");
+    }
+    double radius = near_cond->radius;
+    for (const moving::Sample& s : moft->AllSamples()) {
+      if (!when.Matches(db_->time_dimension(), s.t)) {
+        continue;
+      }
+      geometry::BoundingBox probe(s.pos.x - radius, s.pos.y - radius,
+                                  s.pos.x + radius, s.pos.y + radius);
+      for (GeometryId id : nodes->CandidatesInBox(probe)) {
+        auto node = nodes->GetPoint(id);
+        if (node.ok() && Distance(node.ValueOrDie(), s.pos) <= radius) {
+          tuples.emplace_back(s.oid, s.t.seconds);
+          break;
+        }
+      }
+    }
+  } else if (inside_result) {
+    for (const moving::Sample& s : moft->AllSamples()) {
+      if (!when.Matches(db_->time_dimension(), s.t)) {
+        continue;
+      }
+      for (GeometryId id : wanted) {
+        auto pg = layer->GetPolygon(id);
+        if (pg.ok() && pg.ValueOrDie()->Contains(s.pos)) {
+          tuples.emplace_back(s.oid, s.t.seconds);
+          break;  // One tuple per sample, even on shared boundaries.
+        }
+      }
+    }
+  } else {
+    for (const moving::Sample& s : moft->AllSamples()) {
+      if (when.Matches(db_->time_dimension(), s.t)) {
+        tuples.emplace_back(s.oid, s.t.seconds);
+      }
+    }
+  }
+
+  // Aggregate.
+  auto aggregate_tuples =
+      [&](const std::vector<std::pair<ObjectId, double>>& rows)
+      -> Result<Value> {
+    switch (mo.agg.kind) {
+      case MoAggregate::Kind::kCountAll:
+        return Value(static_cast<int64_t>(rows.size()));
+      case MoAggregate::Kind::kCountDistinctOid: {
+        std::set<ObjectId> oids;
+        for (const auto& [oid, t] : rows) {
+          oids.insert(oid);
+        }
+        return Value(static_cast<int64_t>(oids.size()));
+      }
+      case MoAggregate::Kind::kRatePerHour: {
+        std::set<std::pair<ObjectId, double>> pairs;
+        std::set<double> hours;
+        for (const auto& [oid, t] : rows) {
+          double bucket = temporal::StartOfHour(TimePoint(t)).seconds;
+          pairs.emplace(oid, bucket);
+          hours.insert(bucket);
+        }
+        if (hours.empty()) {
+          return Value(0.0);
+        }
+        return Value(static_cast<double>(pairs.size()) /
+                     static_cast<double>(hours.size()));
+      }
+    }
+    return Status::Internal("unknown aggregate");
+  };
+
+  if (!mo.group_by_level) {
+    PIET_ASSIGN_OR_RETURN(Value scalar, aggregate_tuples(tuples));
+    result.scalar = std::move(scalar);
+    return result;
+  }
+
+  // Grouped: key tuples by the rollup of t.
+  std::map<Value, std::vector<std::pair<ObjectId, double>>> groups;
+  for (const auto& tuple : tuples) {
+    PIET_ASSIGN_OR_RETURN(Value key,
+                          db_->time_dimension().Rollup(*mo.group_by_level,
+                                                       TimePoint(tuple.second)));
+    groups[key].push_back(tuple);
+  }
+  FactTable table = FactTable::Make({*mo.group_by_level}, {"value"});
+  for (const auto& [key, rows] : groups) {
+    PIET_ASSIGN_OR_RETURN(Value agg, aggregate_tuples(rows));
+    PIET_RETURN_NOT_OK(table.Append({key, agg}));
+  }
+  result.table = std::move(table);
+  return result;
+}
+
+Result<QueryResult> Evaluator::EvaluateString(std::string_view text) const {
+  PIET_ASSIGN_OR_RETURN(Query query, Parse(text));
+  return Evaluate(query);
+}
+
+}  // namespace piet::core::pietql

@@ -1,0 +1,56 @@
+#ifndef PIET_CORE_PIETQL_EVALUATOR_H_
+#define PIET_CORE_PIETQL_EVALUATOR_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/database.h"
+#include "core/pietql/ast.h"
+#include "olap/fact_table.h"
+
+namespace piet::core::pietql {
+
+/// The result of evaluating a Piet-QL query: the geometric part's
+/// qualifying ids (of the result layer), plus — when a moving-object part
+/// is present — either a scalar aggregate or a grouped table.
+struct QueryResult {
+  std::string result_layer;
+  std::vector<gis::GeometryId> geometry_ids;
+  std::optional<Value> scalar;
+  std::optional<olap::FactTable> table;
+
+  std::string ToString() const;
+};
+
+/// Evaluates Piet-QL queries against a GeoOlapDatabase, following the
+/// Sec. 5 pipeline: the geometric part resolves to geometry identifiers,
+/// which feed the moving-object part (trajectory-segment intersection
+/// against the qualifying geometries).
+class Evaluator {
+ public:
+  /// `db` must outlive the evaluator.
+  explicit Evaluator(const GeoOlapDatabase* db) : db_(db) {}
+
+  Result<QueryResult> Evaluate(const Query& query) const;
+
+  /// Parses and evaluates in one step.
+  Result<QueryResult> EvaluateString(std::string_view text) const;
+
+ private:
+  Result<std::vector<gis::GeometryId>> EvaluateGeoPart(
+      const GeoQuery& geo) const;
+  Result<bool> ElementsIntersect(const gis::Layer& a, gis::GeometryId ida,
+                                 const gis::Layer& b,
+                                 gis::GeometryId idb) const;
+  Result<bool> ElementContains(const gis::Layer& a, gis::GeometryId ida,
+                               const gis::Layer& b, gis::GeometryId idb) const;
+
+  const GeoOlapDatabase* db_;
+};
+
+}  // namespace piet::core::pietql
+
+#endif  // PIET_CORE_PIETQL_EVALUATOR_H_

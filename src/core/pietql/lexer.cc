@@ -1,0 +1,135 @@
+#include "core/pietql/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace piet::core::pietql {
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, size_t at, std::string s = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(s);
+    t.offset = at;
+    out.push_back(std::move(t));
+  };
+
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t at = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) ||
+              text[j] == '_')) {
+        ++j;
+      }
+      push(TokenKind::kIdent, at, std::string(text.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t j = i + 1;
+      while (j < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[j])) ||
+              text[j] == '.' || text[j] == 'e' || text[j] == 'E' ||
+              ((text[j] == '+' || text[j] == '-') &&
+               (text[j - 1] == 'e' || text[j - 1] == 'E')))) {
+        ++j;
+      }
+      double value = 0.0;
+      auto res = std::from_chars(text.data() + i, text.data() + j, value);
+      if (res.ec != std::errc()) {
+        return Status::ParseError("bad number at offset " +
+                                  std::to_string(at));
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.number = value;
+      t.offset = at;
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      size_t j = i + 1;
+      while (j < text.size() && text[j] != c) {
+        ++j;
+      }
+      if (j == text.size()) {
+        return Status::ParseError("unterminated string at offset " +
+                                  std::to_string(at));
+      }
+      push(TokenKind::kString, at, std::string(text.substr(i + 1, j - i - 1)));
+      i = j + 1;
+      continue;
+    }
+    switch (c) {
+      case '.':
+        push(TokenKind::kDot, at);
+        ++i;
+        continue;
+      case ',':
+        push(TokenKind::kComma, at);
+        ++i;
+        continue;
+      case ';':
+        push(TokenKind::kSemicolon, at);
+        ++i;
+        continue;
+      case '|':
+        push(TokenKind::kPipe, at);
+        ++i;
+        continue;
+      case '(':
+        push(TokenKind::kLParen, at);
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, at);
+        ++i;
+        continue;
+      case '*':
+        push(TokenKind::kStar, at);
+        ++i;
+        continue;
+      case '<':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          push(TokenKind::kLe, at);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, at);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          push(TokenKind::kGe, at);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, at);
+          ++i;
+        }
+        continue;
+      case '=':
+        push(TokenKind::kEq, at);
+        ++i;
+        continue;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(at));
+    }
+  }
+  push(TokenKind::kEnd, text.size());
+  return out;
+}
+
+}  // namespace piet::core::pietql

@@ -1,0 +1,45 @@
+#ifndef PIET_CORE_PIETQL_LEXER_H_
+#define PIET_CORE_PIETQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace piet::core::pietql {
+
+/// Token kinds of the Piet-QL surface syntax.
+enum class TokenKind {
+  kIdent = 0,   ///< Bare word (keywords are idents, matched case-insensitively).
+  kNumber,      ///< Numeric literal.
+  kString,      ///< 'single' or "double" quoted.
+  kDot,
+  kComma,
+  kSemicolon,
+  kPipe,
+  kLParen,
+  kRParen,
+  kStar,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kEq,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     ///< Ident/string content.
+  double number = 0.0;  ///< For kNumber.
+  size_t offset = 0;    ///< Byte offset, for diagnostics.
+};
+
+/// Tokenizes a Piet-QL query. Comments are not supported (queries are
+/// short); unknown characters are a ParseError.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace piet::core::pietql
+
+#endif  // PIET_CORE_PIETQL_LEXER_H_

@@ -1,0 +1,302 @@
+#include "core/pietql/parser.h"
+
+#include "common/string_util.h"
+#include "core/pietql/lexer.h"
+
+namespace piet::core::pietql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> ParseQuery() {
+    Query query;
+    PIET_ASSIGN_OR_RETURN(query.geo, ParseGeoPart());
+    if (Accept(TokenKind::kPipe)) {
+      PIET_ASSIGN_OR_RETURN(MoQuery mo, ParseMoPart());
+      query.mo = std::move(mo);
+    }
+    if (!AtEnd()) {
+      return Err("trailing input after query");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool Accept(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptKeyword(std::string_view kw) {
+    if (Peek().kind == TokenKind::kIdent && EqualsIgnoreCase(Peek().text, kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool PeekKeyword(std::string_view kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kIdent && EqualsIgnoreCase(t.text, kw);
+  }
+
+  Status Err(const std::string& what) const {
+    return Status::ParseError(what + " (at offset " +
+                              std::to_string(Peek().offset) + ")");
+  }
+
+  Status Expect(TokenKind kind, const std::string& what) {
+    if (!Accept(kind)) {
+      return Err("expected " + what);
+    }
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!AcceptKeyword(kw)) {
+      return Err("expected keyword '" + std::string(kw) + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent(const std::string& what) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Err("expected " + what);
+    }
+    std::string text = Peek().text;
+    ++pos_;
+    return text;
+  }
+
+  Result<LayerRef> ParseLayerRef() {
+    PIET_RETURN_NOT_OK(ExpectKeyword("layer"));
+    PIET_RETURN_NOT_OK(Expect(TokenKind::kDot, "'.' after 'layer'"));
+    PIET_ASSIGN_OR_RETURN(std::string name, ExpectIdent("layer name"));
+    return LayerRef{std::move(name)};
+  }
+
+  Result<Value> ParseLiteral() {
+    if (Peek().kind == TokenKind::kNumber) {
+      double v = Peek().number;
+      ++pos_;
+      return Value(v);
+    }
+    if (Peek().kind == TokenKind::kString) {
+      std::string s = Peek().text;
+      ++pos_;
+      return Value(std::move(s));
+    }
+    return Err("expected literal");
+  }
+
+  Result<CompareOp> ParseCompareOp() {
+    switch (Peek().kind) {
+      case TokenKind::kLt:
+        ++pos_;
+        return CompareOp::kLt;
+      case TokenKind::kGt:
+        ++pos_;
+        return CompareOp::kGt;
+      case TokenKind::kLe:
+        ++pos_;
+        return CompareOp::kLe;
+      case TokenKind::kGe:
+        ++pos_;
+        return CompareOp::kGe;
+      case TokenKind::kEq:
+        ++pos_;
+        return CompareOp::kEq;
+      default:
+        return Err("expected comparison operator");
+    }
+  }
+
+  Result<GeoCondition> ParseGeoCondition() {
+    GeoCondition cond;
+    if (AcceptKeyword("intersection") || AcceptKeyword("intersects")) {
+      cond.kind = GeoCondition::Kind::kIntersection;
+      PIET_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+      PIET_ASSIGN_OR_RETURN(cond.a, ParseLayerRef());
+      PIET_RETURN_NOT_OK(Expect(TokenKind::kComma, "','"));
+      PIET_ASSIGN_OR_RETURN(cond.b, ParseLayerRef());
+      PIET_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      return cond;
+    }
+    if (AcceptKeyword("contains")) {
+      cond.kind = GeoCondition::Kind::kContains;
+      PIET_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+      PIET_ASSIGN_OR_RETURN(cond.a, ParseLayerRef());
+      PIET_RETURN_NOT_OK(Expect(TokenKind::kComma, "','"));
+      PIET_ASSIGN_OR_RETURN(cond.b, ParseLayerRef());
+      PIET_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      return cond;
+    }
+    if (AcceptKeyword("attr")) {
+      cond.kind = GeoCondition::Kind::kAttrCompare;
+      PIET_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+      PIET_ASSIGN_OR_RETURN(cond.a, ParseLayerRef());
+      PIET_RETURN_NOT_OK(Expect(TokenKind::kComma, "','"));
+      PIET_ASSIGN_OR_RETURN(cond.attribute, ExpectIdent("attribute name"));
+      PIET_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      PIET_ASSIGN_OR_RETURN(cond.op, ParseCompareOp());
+      PIET_ASSIGN_OR_RETURN(cond.literal, ParseLiteral());
+      return cond;
+    }
+    return Err("expected geometric condition");
+  }
+
+  Result<GeoQuery> ParseGeoPart() {
+    GeoQuery geo;
+    PIET_RETURN_NOT_OK(ExpectKeyword("select"));
+    PIET_ASSIGN_OR_RETURN(LayerRef first, ParseLayerRef());
+    geo.select.push_back(std::move(first));
+    while (Accept(TokenKind::kComma)) {
+      PIET_ASSIGN_OR_RETURN(LayerRef next, ParseLayerRef());
+      geo.select.push_back(std::move(next));
+    }
+    PIET_RETURN_NOT_OK(Expect(TokenKind::kSemicolon, "';' after SELECT list"));
+    PIET_RETURN_NOT_OK(ExpectKeyword("from"));
+    PIET_ASSIGN_OR_RETURN(geo.schema, ExpectIdent("schema name"));
+    PIET_RETURN_NOT_OK(Expect(TokenKind::kSemicolon, "';' after FROM"));
+    if (AcceptKeyword("where")) {
+      PIET_ASSIGN_OR_RETURN(GeoCondition cond, ParseGeoCondition());
+      geo.where.push_back(std::move(cond));
+      while (AcceptKeyword("and")) {
+        PIET_ASSIGN_OR_RETURN(GeoCondition next, ParseGeoCondition());
+        geo.where.push_back(std::move(next));
+      }
+      Accept(TokenKind::kSemicolon);
+    }
+    return geo;
+  }
+
+  Result<MoAggregate> ParseMoAggregate() {
+    MoAggregate agg;
+    if (AcceptKeyword("count")) {
+      PIET_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'(' after COUNT"));
+      if (Accept(TokenKind::kStar)) {
+        agg.kind = MoAggregate::Kind::kCountAll;
+      } else if (AcceptKeyword("distinct")) {
+        PIET_RETURN_NOT_OK(ExpectKeyword("oid"));
+        agg.kind = MoAggregate::Kind::kCountDistinctOid;
+      } else {
+        return Err("expected '*' or DISTINCT OID");
+      }
+      PIET_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      return agg;
+    }
+    if (AcceptKeyword("rate")) {
+      PIET_RETURN_NOT_OK(ExpectKeyword("per"));
+      PIET_RETURN_NOT_OK(ExpectKeyword("hour"));
+      agg.kind = MoAggregate::Kind::kRatePerHour;
+      return agg;
+    }
+    return Err("expected moving-object aggregate");
+  }
+
+  Result<MoCondition> ParseMoCondition() {
+    MoCondition cond;
+    if (AcceptKeyword("inside")) {
+      PIET_RETURN_NOT_OK(ExpectKeyword("result"));
+      cond.kind = MoCondition::Kind::kInsideResult;
+      return cond;
+    }
+    if (AcceptKeyword("passes")) {
+      PIET_RETURN_NOT_OK(ExpectKeyword("through"));
+      PIET_RETURN_NOT_OK(ExpectKeyword("result"));
+      cond.kind = MoCondition::Kind::kPassesThroughResult;
+      return cond;
+    }
+    if (AcceptKeyword("near")) {
+      PIET_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'(' after NEAR"));
+      PIET_ASSIGN_OR_RETURN(LayerRef layer, ParseLayerRef());
+      cond.near_layer = layer.name;
+      PIET_RETURN_NOT_OK(Expect(TokenKind::kComma, "','"));
+      if (Peek().kind != TokenKind::kNumber) {
+        return Err("expected radius after ','");
+      }
+      cond.radius = Peek().number;
+      ++pos_;
+      PIET_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      cond.kind = MoCondition::Kind::kNearLayer;
+      return cond;
+    }
+    if (AcceptKeyword("time")) {
+      PIET_RETURN_NOT_OK(Expect(TokenKind::kDot, "'.' after TIME"));
+      PIET_ASSIGN_OR_RETURN(cond.time_level, ExpectIdent("time level"));
+      PIET_RETURN_NOT_OK(Expect(TokenKind::kEq, "'='"));
+      PIET_ASSIGN_OR_RETURN(cond.literal, ParseLiteral());
+      cond.kind = MoCondition::Kind::kTimeEquals;
+      return cond;
+    }
+    if (AcceptKeyword("t")) {
+      PIET_RETURN_NOT_OK(ExpectKeyword("between"));
+      if (Peek().kind != TokenKind::kNumber) {
+        return Err("expected number after BETWEEN");
+      }
+      cond.t0 = Peek().number;
+      ++pos_;
+      PIET_RETURN_NOT_OK(ExpectKeyword("and"));
+      if (Peek().kind != TokenKind::kNumber) {
+        return Err("expected number after AND");
+      }
+      cond.t1 = Peek().number;
+      ++pos_;
+      cond.kind = MoCondition::Kind::kTimeBetween;
+      return cond;
+    }
+    return Err("expected moving-object condition");
+  }
+
+  Result<MoQuery> ParseMoPart() {
+    MoQuery mo;
+    PIET_RETURN_NOT_OK(ExpectKeyword("select"));
+    PIET_ASSIGN_OR_RETURN(mo.agg, ParseMoAggregate());
+    PIET_RETURN_NOT_OK(ExpectKeyword("from"));
+    PIET_ASSIGN_OR_RETURN(mo.moft, ExpectIdent("MOFT name"));
+    if (AcceptKeyword("where")) {
+      PIET_ASSIGN_OR_RETURN(MoCondition cond, ParseMoCondition());
+      mo.where.push_back(std::move(cond));
+      while (AcceptKeyword("and")) {
+        PIET_ASSIGN_OR_RETURN(MoCondition next, ParseMoCondition());
+        mo.where.push_back(std::move(next));
+      }
+    }
+    if (AcceptKeyword("group")) {
+      PIET_RETURN_NOT_OK(ExpectKeyword("by"));
+      PIET_RETURN_NOT_OK(ExpectKeyword("time"));
+      PIET_RETURN_NOT_OK(Expect(TokenKind::kDot, "'.' after TIME"));
+      PIET_ASSIGN_OR_RETURN(std::string level, ExpectIdent("time level"));
+      mo.group_by_level = std::move(level);
+    }
+    Accept(TokenKind::kSemicolon);
+    return mo;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> Parse(std::string_view text) {
+  PIET_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+}  // namespace piet::core::pietql

@@ -1,0 +1,38 @@
+#ifndef PIET_CORE_PIETQL_PARSER_H_
+#define PIET_CORE_PIETQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "core/pietql/ast.h"
+
+namespace piet::core::pietql {
+
+/// Parses a full Piet-QL query. Grammar (keywords case-insensitive):
+///
+///   query     := geo_part [ '|' mo_part ]
+///   geo_part  := SELECT layer_ref (',' layer_ref)* ';'
+///                FROM ident ';'
+///                [ WHERE geo_cond (AND geo_cond)* [';'] ]
+///   layer_ref := LAYER '.' ident
+///   geo_cond  := INTERSECTION '(' layer_ref ',' layer_ref ')'
+///              | CONTAINS '(' layer_ref ',' layer_ref ')'
+///              | ATTR '(' layer_ref ',' ident ')' cmp literal
+///   cmp       := '<' | '>' | '<=' | '>=' | '='
+///   mo_part   := SELECT mo_agg FROM ident
+///                [ WHERE mo_cond (AND mo_cond)* ]
+///                [ GROUP BY TIME '.' ident ] [';']
+///   mo_agg    := COUNT '(' '*' ')'
+///              | COUNT '(' DISTINCT OID ')'
+///              | RATE PER HOUR
+///   mo_cond   := INSIDE RESULT
+///              | PASSES THROUGH RESULT
+///              | NEAR '(' layer_ref ',' number ')'
+///              | TIME '.' ident '=' literal
+///              | T BETWEEN number AND number
+///   literal   := number | string
+Result<Query> Parse(std::string_view text);
+
+}  // namespace piet::core::pietql
+
+#endif  // PIET_CORE_PIETQL_PARSER_H_

@@ -1,0 +1,137 @@
+#include "core/pietql/printer.h"
+
+#include <sstream>
+
+namespace piet::core::pietql {
+
+namespace {
+
+void PrintLiteral(std::ostringstream* os, const Value& v) {
+  if (v.is_string()) {
+    (*os) << "'" << v.AsStringUnchecked() << "'";
+  } else if (v.is_numeric()) {
+    (*os) << v.AsNumeric().ValueOrDie();
+  } else {
+    (*os) << v.ToString();
+  }
+}
+
+const char* CompareOpText(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "=";
+  }
+  return "?";
+}
+
+void PrintGeoCondition(std::ostringstream* os, const GeoCondition& cond) {
+  switch (cond.kind) {
+    case GeoCondition::Kind::kIntersection:
+      (*os) << "INTERSECTION(layer." << cond.a.name << ", layer."
+            << cond.b.name << ")";
+      return;
+    case GeoCondition::Kind::kContains:
+      (*os) << "CONTAINS(layer." << cond.a.name << ", layer." << cond.b.name
+            << ")";
+      return;
+    case GeoCondition::Kind::kAttrCompare:
+      (*os) << "ATTR(layer." << cond.a.name << ", " << cond.attribute << ") "
+            << CompareOpText(cond.op) << " ";
+      PrintLiteral(os, cond.literal);
+      return;
+  }
+}
+
+void PrintMoCondition(std::ostringstream* os, const MoCondition& cond) {
+  switch (cond.kind) {
+    case MoCondition::Kind::kInsideResult:
+      (*os) << "INSIDE RESULT";
+      return;
+    case MoCondition::Kind::kPassesThroughResult:
+      (*os) << "PASSES THROUGH RESULT";
+      return;
+    case MoCondition::Kind::kTimeEquals:
+      (*os) << "TIME." << cond.time_level << " = ";
+      PrintLiteral(os, cond.literal);
+      return;
+    case MoCondition::Kind::kTimeBetween:
+      (*os) << "T BETWEEN " << cond.t0 << " AND " << cond.t1;
+      return;
+    case MoCondition::Kind::kNearLayer:
+      (*os) << "NEAR(layer." << cond.near_layer << ", " << cond.radius
+            << ")";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string Print(const GeoQuery& geo) {
+  std::ostringstream os;
+  os << "SELECT ";
+  for (size_t i = 0; i < geo.select.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << "layer." << geo.select[i].name;
+  }
+  os << "; FROM " << geo.schema << ";";
+  if (!geo.where.empty()) {
+    os << " WHERE ";
+    for (size_t i = 0; i < geo.where.size(); ++i) {
+      if (i > 0) {
+        os << " AND ";
+      }
+      PrintGeoCondition(&os, geo.where[i]);
+    }
+  }
+  return os.str();
+}
+
+std::string Print(const MoQuery& mo) {
+  std::ostringstream os;
+  os << "SELECT ";
+  switch (mo.agg.kind) {
+    case MoAggregate::Kind::kCountAll:
+      os << "COUNT(*)";
+      break;
+    case MoAggregate::Kind::kCountDistinctOid:
+      os << "COUNT(DISTINCT OID)";
+      break;
+    case MoAggregate::Kind::kRatePerHour:
+      os << "RATE PER HOUR";
+      break;
+  }
+  os << " FROM " << mo.moft;
+  if (!mo.where.empty()) {
+    os << " WHERE ";
+    for (size_t i = 0; i < mo.where.size(); ++i) {
+      if (i > 0) {
+        os << " AND ";
+      }
+      PrintMoCondition(&os, mo.where[i]);
+    }
+  }
+  if (mo.group_by_level) {
+    os << " GROUP BY TIME." << *mo.group_by_level;
+  }
+  return os.str();
+}
+
+std::string Print(const Query& query) {
+  std::string out = Print(query.geo);
+  if (query.mo) {
+    out += " | " + Print(*query.mo);
+  }
+  return out;
+}
+
+}  // namespace piet::core::pietql

@@ -1,0 +1,18 @@
+#ifndef PIET_CORE_PIETQL_PRINTER_H_
+#define PIET_CORE_PIETQL_PRINTER_H_
+
+#include <string>
+
+#include "core/pietql/ast.h"
+
+namespace piet::core::pietql {
+
+/// Renders an AST back to canonical Piet-QL text. `Parse(Print(q))` is
+/// structurally identical to `q` (round-trip property, tested).
+std::string Print(const Query& query);
+std::string Print(const GeoQuery& geo);
+std::string Print(const MoQuery& mo);
+
+}  // namespace piet::core::pietql
+
+#endif  // PIET_CORE_PIETQL_PRINTER_H_

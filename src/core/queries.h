@@ -1,0 +1,147 @@
+#ifndef PIET_CORE_QUERIES_H_
+#define PIET_CORE_QUERIES_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/engine.h"
+
+namespace piet::core::queries {
+
+/// High-level implementations of the paper's worked queries (Sec. 1.2,
+/// Remark 1, and Sec. 4 queries 1-7), each annotated with its type in the
+/// Sec. 3.1 taxonomy. They compose the region-C relations produced by
+/// QueryEngine with the classical γ aggregation of Def. 7.
+
+/// Result of a "per hour" aggregate: `tuple_count` qualifying (Oid, hour)
+/// pairs over `hour_count` distinct hours. `per_hour` = tuple_count /
+/// hour_count — exactly the paper's Remark 1 arithmetic (4 / 3 = 1.333).
+struct PerHourResult {
+  int64_t tuple_count = 0;
+  int64_t hour_count = 0;
+  double per_hour = 0.0;
+};
+
+/// The headline query (Sec. 1.2 / Remark 1, Type 4): "number of buses per
+/// hour in the morning in the neighborhoods with income < threshold".
+/// Counts distinct (Oid, hour-bucket) pairs among qualifying samples and
+/// divides by the number of distinct hour buckets.
+Result<PerHourResult> CountPerHourInRegion(const QueryEngine& engine,
+                                           const std::string& moft,
+                                           const std::string& layer,
+                                           const GeometryPredicate& pred,
+                                           const TimePredicate& when,
+                                           Strategy strategy);
+
+/// Query 1 (Type 4): "number of cars in region <member> on Wednesday
+/// morning" — distinct objects sampled inside the α-bound region.
+Result<int64_t> CountObjectsInRegion(const QueryEngine& engine,
+                                     const std::string& moft,
+                                     const std::string& layer,
+                                     const std::string& attribute,
+                                     const Value& member,
+                                     const TimePredicate& when,
+                                     Strategy strategy);
+
+/// Query 2 (Type 4): "maximal density of cars on all roads" under the
+/// paper's three readings.
+enum class DensityInterpretation {
+  kPerStreet = 0,      ///< (a) counts per street over the whole window.
+  kPerStreetInstant,   ///< (b) counts per (street, instant).
+  kCityWide,           ///< (c) total count per instant / total road length.
+};
+
+struct DensityResult {
+  Value street;        ///< Street id (interpretations a, b) or null.
+  Value instant;       ///< Instant (b, c) or null.
+  double density = 0.0;  ///< Cars per unit road length.
+};
+
+Result<DensityResult> MaxStreetDensity(const QueryEngine& engine,
+                                       const std::string& moft,
+                                       const std::string& street_layer,
+                                       double tolerance,
+                                       const TimePredicate& when,
+                                       DensityInterpretation interpretation);
+
+/// Query 3 (Type 4, optionally trajectory-refined): "cars passing
+/// completely through cities with pop >= threshold": objects never observed
+/// (or, with trajectory semantics, never interpolated) outside qualifying
+/// cities.
+Result<int64_t> CountObjectsCompletelyWithin(const QueryEngine& engine,
+                                             const std::string& moft,
+                                             const std::string& layer,
+                                             const GeometryPredicate& pred,
+                                             const TimePredicate& when,
+                                             bool trajectory_semantics);
+
+/// Query 4 (Type 6): "how many cars are in <member> at instant t" —
+/// interpolated snapshot count.
+Result<int64_t> SnapshotCountInRegion(const QueryEngine& engine,
+                                      const std::string& moft,
+                                      const std::string& layer,
+                                      const std::string& attribute,
+                                      const Value& member,
+                                      temporal::TimePoint t);
+
+/// Query 5 (Type 7): total and longest continuous time objects spend in
+/// the α-bound region during the time predicate, under LIT semantics.
+struct StayResult {
+  double total_seconds = 0.0;
+  double longest_stay_seconds = 0.0;
+  int64_t visits = 0;
+};
+Result<StayResult> TimeSpentInRegion(const QueryEngine& engine,
+                                     const std::string& moft,
+                                     const std::string& layer,
+                                     const std::string& attribute,
+                                     const Value& member,
+                                     const TimePredicate& when);
+
+/// Query 6 (Types 4 and 7): "cars per hour within `radius` of a school".
+/// With `interpolated` false only observed samples count (the paper's first
+/// formulation); with true the LIT is used and unsampled drive-bys are
+/// caught (the second formulation).
+Result<PerHourResult> CountNearNodesPerHour(const QueryEngine& engine,
+                                            const std::string& moft,
+                                            const std::string& node_layer,
+                                            double radius,
+                                            const TimePredicate& when,
+                                            bool interpolated);
+
+/// Types 1/2 (spatial aggregation): Σ_{g qualifying} ∫∫_g h dx dy — e.g.
+/// "total population of the provinces crossed by a river" with a
+/// per-region population density. The numeric condition of type 2 lives in
+/// `pred`; the Def. 4 integral is evaluated by GeometricAggregator.
+Result<double> TotalMassInRegions(const QueryEngine& engine,
+                                  const std::string& layer,
+                                  const GeometryPredicate& pred,
+                                  const gis::DensityField& density);
+
+/// Type 8 (trajectory aggregation): per-object totals over qualifying
+/// regions — distance travelled inside, residence time, and visit count —
+/// reduced with γ to fleet-level statistics.
+struct TrajectoryAggregateResult {
+  double total_distance = 0.0;
+  double total_seconds = 0.0;
+  int64_t total_visits = 0;
+  int64_t objects = 0;
+};
+Result<TrajectoryAggregateResult> AggregateTrajectories(
+    const QueryEngine& engine, const std::string& moft,
+    const std::string& layer, const GeometryPredicate& pred);
+
+/// Query 7 (Type 4): "persons waiting at stop <member> by minute between
+/// 8:00 and 10:00 on weekday mornings": per-minute counts of objects within
+/// `radius` of the α-bound stop. Returns a (minute, count) table.
+Result<olap::FactTable> WaitingAtStopPerMinute(const QueryEngine& engine,
+                                               const std::string& moft,
+                                               const std::string& stop_layer,
+                                               const std::string& attribute,
+                                               const Value& member,
+                                               double radius,
+                                               const TimePredicate& when);
+
+}  // namespace piet::core::queries
+
+#endif  // PIET_CORE_QUERIES_H_

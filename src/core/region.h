@@ -1,0 +1,119 @@
+#ifndef PIET_CORE_REGION_H_
+#define PIET_CORE_REGION_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "gis/density.h"
+#include "gis/instance.h"
+#include "gis/layer.h"
+#include "temporal/interval.h"
+#include "temporal/time_dimension.h"
+
+namespace piet::core {
+
+/// A predicate over the geometries of a layer — the geometric half of the
+/// FO formula defining the region C. Examples from the paper:
+///   n.income < 1500                -> AttributeLess("income", 1500)
+///   c.pop >= 50000                 -> AttributeGreaterEq("pop", 50000)
+///   α(neighborhood)("Berchem")=pg  -> AlphaEquals(gis, "neighborhood",
+///                                                 "Berchem")
+/// Predicates compose with And/Or/Not, mirroring FO connectives.
+class GeometryPredicate {
+ public:
+  using Fn = std::function<bool(const gis::Layer&, gis::GeometryId)>;
+
+  GeometryPredicate() : fn_([](const gis::Layer&, gis::GeometryId) {
+                          return true;
+                        }) {}
+  explicit GeometryPredicate(Fn fn) : fn_(std::move(fn)) {}
+
+  bool operator()(const gis::Layer& layer, gis::GeometryId id) const {
+    return fn_(layer, id);
+  }
+
+  /// Always true.
+  static GeometryPredicate All();
+  /// attr(g) < threshold (missing attribute -> false).
+  static GeometryPredicate AttributeLess(std::string attr, double threshold);
+  /// attr(g) > threshold.
+  static GeometryPredicate AttributeGreater(std::string attr,
+                                            double threshold);
+  /// attr(g) >= threshold.
+  static GeometryPredicate AttributeGreaterEq(std::string attr,
+                                              double threshold);
+  /// attr(g) == value.
+  static GeometryPredicate AttributeEquals(std::string attr, Value value);
+  /// g == α(attribute)(member): the single geometry an application member
+  /// is bound to (paper's α usage; `gis` must outlive the predicate).
+  static GeometryPredicate AlphaEquals(const gis::GisDimensionInstance* gis,
+                                       std::string attribute, Value member);
+  /// dist(g, nearest element of `layer`) <= distance — proximity between
+  /// whole geometries (e.g. "neighborhoods within 100 of the river").
+  /// `gis` must outlive the predicate; results are memoized per geometry.
+  static GeometryPredicate WithinDistanceOfLayer(
+      const gis::GisDimensionInstance* gis, std::string layer,
+      double distance);
+
+  /// ∫∫_g h dx dy > threshold — the paper's type-5 "second order" region
+  /// condition ("neighborhoods where the number of low-income people
+  /// exceeds 50,000"). Integrals are memoized per geometry id.
+  static GeometryPredicate DensityMassGreater(
+      std::shared_ptr<const gis::DensityField> field, double threshold);
+
+  GeometryPredicate And(GeometryPredicate other) const;
+  GeometryPredicate Or(GeometryPredicate other) const;
+  GeometryPredicate Not() const;
+
+ private:
+  Fn fn_;
+};
+
+/// The temporal half of the region C: a conjunction of rollup-equality
+/// constraints (R^level_timeId(t) = member), an optional absolute window,
+/// and an optional hour-of-day range. Mirrors the paper's
+/// `R^timeOfDay(t) = "Morning" ∧ R^dayOfWeek(t) = "Wednesday"` style.
+class TimePredicate {
+ public:
+  TimePredicate() = default;
+
+  /// Adds R^level_timeId(t) == member.
+  TimePredicate& RollupEquals(std::string level, Value member);
+  /// Restricts t to [window.begin, window.end].
+  TimePredicate& Window(temporal::Interval window);
+  /// Restricts hour-of-day to [h0, h1] inclusive (paper's query 7:
+  /// 8:00-10:00).
+  TimePredicate& HourRange(int h0, int h1);
+
+  /// True when every constraint holds at instant t.
+  bool Matches(const temporal::TimeDimension& dim,
+               temporal::TimePoint t) const;
+
+  /// The exact subset of `domain` where the predicate holds, as an interval
+  /// set. Valid when every rollup constraint is at hour granularity or
+  /// coarser (hour, timeOfDay, dayOfWeek, typeOfDay, day, month, year): the
+  /// predicate is then piecewise-constant between hour boundaries.
+  /// Constraints on `timeId` or `minute` are rejected.
+  Result<temporal::IntervalSet> MatchingIntervals(
+      const temporal::TimeDimension& dim,
+      const temporal::Interval& domain) const;
+
+  const std::optional<temporal::Interval>& window() const { return window_; }
+  bool unconstrained() const {
+    return rollup_equals_.empty() && !window_ && !hour_range_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, Value>> rollup_equals_;
+  std::optional<temporal::Interval> window_;
+  std::optional<std::pair<int, int>> hour_range_;
+};
+
+}  // namespace piet::core
+
+#endif  // PIET_CORE_REGION_H_

@@ -1,0 +1,68 @@
+#include "core/summable.h"
+
+namespace piet::core {
+
+using gis::GeometryId;
+using gis::Layer;
+
+Result<double> GeometricAggregator::OverPolygons(
+    const Layer& layer, const std::vector<GeometryId>& ids) const {
+  double total = 0.0;
+  for (GeometryId id : ids) {
+    PIET_ASSIGN_OR_RETURN(const geometry::Polygon* pg, layer.GetPolygon(id));
+    total += density_->IntegrateOverPolygon(*pg);
+  }
+  return total;
+}
+
+Result<double> GeometricAggregator::OverPolylines(
+    const Layer& layer, const std::vector<GeometryId>& ids,
+    int steps_per_segment) const {
+  if (steps_per_segment < 1) {
+    return Status::InvalidArgument("steps_per_segment must be >= 1");
+  }
+  double total = 0.0;
+  for (GeometryId id : ids) {
+    PIET_ASSIGN_OR_RETURN(const geometry::Polyline* line,
+                          layer.GetPolyline(id));
+    for (size_t si = 0; si < line->num_segments(); ++si) {
+      geometry::Segment seg = line->segment(si);
+      double len = seg.Length();
+      double step = len / steps_per_segment;
+      for (int i = 0; i < steps_per_segment; ++i) {
+        double t = (i + 0.5) / steps_per_segment;
+        total += density_->ValueAt(seg.At(t)) * step;
+      }
+    }
+  }
+  return total;
+}
+
+Result<double> GeometricAggregator::OverPoints(
+    const Layer& layer, const std::vector<GeometryId>& ids) const {
+  double total = 0.0;
+  for (GeometryId id : ids) {
+    PIET_ASSIGN_OR_RETURN(geometry::Point p, layer.GetPoint(id));
+    total += density_->ValueAt(p);
+  }
+  return total;
+}
+
+Result<double> GeometricAggregator::Evaluate(
+    const Layer& layer, const std::vector<GeometryId>& ids) const {
+  switch (layer.kind()) {
+    case gis::GeometryKind::kPolygon:
+      return OverPolygons(layer, ids);
+    case gis::GeometryKind::kLine:
+    case gis::GeometryKind::kPolyline:
+      return OverPolylines(layer, ids);
+    case gis::GeometryKind::kPoint:
+    case gis::GeometryKind::kNode:
+      return OverPoints(layer, ids);
+    case gis::GeometryKind::kAll:
+      break;
+  }
+  return Status::InvalidArgument("cannot aggregate over the All level");
+}
+
+}  // namespace piet::core

@@ -1,0 +1,49 @@
+#ifndef PIET_CORE_SUMMABLE_H_
+#define PIET_CORE_SUMMABLE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "gis/density.h"
+#include "gis/layer.h"
+
+namespace piet::core {
+
+/// Evaluates the Geometric Aggregation of Def. 4,
+///   Q = ∫∫ δ_C(x,y) h(x,y) dx dy,
+/// for *summable* queries (Sec. 5): C is a finite set of geometry elements,
+/// so Q rewrites to Σ_{g∈C} h'(g) where h'(g) is
+///   * an area integral for two-dimensional g (δ_C = 1),
+///   * a line integral for one-dimensional g (Heaviside × Dirac),
+///   * a point evaluation for zero-dimensional g (Dirac).
+class GeometricAggregator {
+ public:
+  /// `density` must outlive the aggregator.
+  explicit GeometricAggregator(const gis::DensityField* density)
+      : density_(density) {}
+
+  /// Σ over polygon elements: ∫∫_g h dx dy.
+  Result<double> OverPolygons(const gis::Layer& layer,
+                              const std::vector<gis::GeometryId>& ids) const;
+
+  /// Σ over polyline elements: ∫_g h ds, by composite-midpoint quadrature
+  /// with `steps_per_segment` samples per polyline segment.
+  Result<double> OverPolylines(const gis::Layer& layer,
+                               const std::vector<gis::GeometryId>& ids,
+                               int steps_per_segment = 64) const;
+
+  /// Σ over point elements: h(p).
+  Result<double> OverPoints(const gis::Layer& layer,
+                            const std::vector<gis::GeometryId>& ids) const;
+
+  /// Dispatches on the layer kind.
+  Result<double> Evaluate(const gis::Layer& layer,
+                          const std::vector<gis::GeometryId>& ids) const;
+
+ private:
+  const gis::DensityField* density_;
+};
+
+}  // namespace piet::core
+
+#endif  // PIET_CORE_SUMMABLE_H_

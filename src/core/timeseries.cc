@@ -1,0 +1,159 @@
+#include "core/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace piet::core {
+
+using olap::FactTable;
+using olap::Row;
+
+namespace {
+
+int64_t BucketOf(double t, double width) {
+  return static_cast<int64_t>(std::floor(t / width));
+}
+
+}  // namespace
+
+Result<FactTable> EventCountSeries(const FactTable& events,
+                                   const std::string& time_column,
+                                   double bucket_width,
+                                   const std::string& distinct_column) {
+  if (bucket_width <= 0.0) {
+    return Status::InvalidArgument("bucket width must be > 0");
+  }
+  PIET_ASSIGN_OR_RETURN(size_t t_idx, events.ColumnIndex(time_column));
+  size_t d_idx = 0;
+  bool use_distinct = !distinct_column.empty();
+  if (use_distinct) {
+    PIET_ASSIGN_OR_RETURN(d_idx, events.ColumnIndex(distinct_column));
+  }
+
+  std::map<int64_t, std::set<Value>> distinct_per_bucket;
+  std::map<int64_t, int64_t> counts;
+  for (const Row& row : events.rows()) {
+    PIET_ASSIGN_OR_RETURN(double t, row[t_idx].AsNumeric());
+    int64_t bucket = BucketOf(t, bucket_width);
+    if (use_distinct) {
+      distinct_per_bucket[bucket].insert(row[d_idx]);
+    } else {
+      ++counts[bucket];
+    }
+  }
+  if (use_distinct) {
+    for (const auto& [bucket, values] : distinct_per_bucket) {
+      counts[bucket] = static_cast<int64_t>(values.size());
+    }
+  }
+
+  FactTable out = FactTable::Make({"bucket_start"}, {"count"});
+  if (counts.empty()) {
+    return out;
+  }
+  int64_t first = counts.begin()->first;
+  int64_t last = counts.rbegin()->first;
+  for (int64_t b = first; b <= last; ++b) {
+    auto it = counts.find(b);
+    PIET_RETURN_NOT_OK(out.Append(
+        {Value(static_cast<double>(b) * bucket_width),
+         Value(it == counts.end() ? int64_t{0} : it->second)}));
+  }
+  return out;
+}
+
+namespace {
+
+// Sweep events: +1 at enter, -1 just after leave. Closed intervals: a
+// leave at t and an enter at the same t overlap, so process enters first.
+struct SweepEvent {
+  double t;
+  int delta;  // +1 enter, -1 leave.
+};
+
+Result<std::vector<SweepEvent>> BuildSweep(const FactTable& intervals,
+                                           const std::string& enter_column,
+                                           const std::string& leave_column) {
+  PIET_ASSIGN_OR_RETURN(size_t e_idx, intervals.ColumnIndex(enter_column));
+  PIET_ASSIGN_OR_RETURN(size_t l_idx, intervals.ColumnIndex(leave_column));
+  std::vector<SweepEvent> events;
+  events.reserve(intervals.num_rows() * 2);
+  for (const Row& row : intervals.rows()) {
+    PIET_ASSIGN_OR_RETURN(double enter, row[e_idx].AsNumeric());
+    PIET_ASSIGN_OR_RETURN(double leave, row[l_idx].AsNumeric());
+    if (leave < enter) {
+      return Status::InvalidArgument("interval with leave < enter");
+    }
+    events.push_back({enter, +1});
+    events.push_back({leave, -1});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SweepEvent& a, const SweepEvent& b) {
+              if (a.t != b.t) {
+                return a.t < b.t;
+              }
+              return a.delta > b.delta;  // Enters before leaves (closed).
+            });
+  return events;
+}
+
+}  // namespace
+
+Result<FactTable> OccupancySeries(const FactTable& intervals,
+                                  const std::string& enter_column,
+                                  const std::string& leave_column,
+                                  double bucket_width) {
+  if (bucket_width <= 0.0) {
+    return Status::InvalidArgument("bucket width must be > 0");
+  }
+  PIET_ASSIGN_OR_RETURN(std::vector<SweepEvent> events,
+                        BuildSweep(intervals, enter_column, leave_column));
+  FactTable out = FactTable::Make({"bucket_start"}, {"peak_occupancy"});
+  if (events.empty()) {
+    return out;
+  }
+
+  std::map<int64_t, int64_t> peaks;
+  int64_t current = 0;
+  // Occupancy carried into each bucket boundary: compute per-bucket peak as
+  // max over events in the bucket and the carried-in occupancy.
+  int64_t first_bucket = BucketOf(events.front().t, bucket_width);
+  int64_t last_bucket = BucketOf(events.back().t, bucket_width);
+  size_t i = 0;
+  for (int64_t b = first_bucket; b <= last_bucket; ++b) {
+    int64_t peak = current;  // Carried-in occupancy.
+    double bucket_end = static_cast<double>(b + 1) * bucket_width;
+    while (i < events.size() && events[i].t < bucket_end) {
+      current += events[i].delta;
+      peak = std::max(peak, current);
+      ++i;
+    }
+    peaks[b] = peak;
+  }
+  for (int64_t b = first_bucket; b <= last_bucket; ++b) {
+    PIET_RETURN_NOT_OK(out.Append(
+        {Value(static_cast<double>(b) * bucket_width), Value(peaks[b])}));
+  }
+  return out;
+}
+
+Result<PeakOccupancy> FindPeakOccupancy(const FactTable& intervals,
+                                        const std::string& enter_column,
+                                        const std::string& leave_column) {
+  PIET_ASSIGN_OR_RETURN(std::vector<SweepEvent> events,
+                        BuildSweep(intervals, enter_column, leave_column));
+  PeakOccupancy out;
+  int64_t current = 0;
+  for (const SweepEvent& e : events) {
+    current += e.delta;
+    if (current > out.peak) {
+      out.peak = current;
+      out.at_seconds = e.t;
+    }
+  }
+  return out;
+}
+
+}  // namespace piet::core

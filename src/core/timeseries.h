@@ -1,0 +1,50 @@
+#ifndef PIET_CORE_TIMESERIES_H_
+#define PIET_CORE_TIMESERIES_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "olap/fact_table.h"
+#include "temporal/interval.h"
+
+namespace piet::core {
+
+/// Time-series views over the region-C relations the engine produces — the
+/// "per hour" family of the paper's queries generalized to arbitrary
+/// bucket widths.
+
+/// Buckets the rows of an event relation (one column holding instants in
+/// seconds, e.g. SampleRegion's "t") into fixed windows of `bucket_width`
+/// seconds and counts rows (or distinct values of `distinct_column` if
+/// non-empty) per bucket. Output schema: (bucket_start, count), ordered by
+/// bucket. Empty buckets between the first and last event are emitted with
+/// count 0 so the series is gap-free.
+Result<olap::FactTable> EventCountSeries(const olap::FactTable& events,
+                                         const std::string& time_column,
+                                         double bucket_width,
+                                         const std::string& distinct_column =
+                                             "");
+
+/// Sweep-line occupancy over an interval relation (columns `enter_column`,
+/// `leave_column` holding seconds, e.g. TrajectoryRegion's output): for
+/// each bucket, the maximum number of simultaneously-present intervals —
+/// "how many cars were in the region at once". Output schema:
+/// (bucket_start, peak_occupancy), gap-free. Zero-length intervals count
+/// as present at their instant.
+Result<olap::FactTable> OccupancySeries(const olap::FactTable& intervals,
+                                        const std::string& enter_column,
+                                        const std::string& leave_column,
+                                        double bucket_width);
+
+/// The global peak occupancy and the instant at which it is first reached.
+struct PeakOccupancy {
+  int64_t peak = 0;
+  double at_seconds = 0.0;
+};
+Result<PeakOccupancy> FindPeakOccupancy(const olap::FactTable& intervals,
+                                        const std::string& enter_column,
+                                        const std::string& leave_column);
+
+}  // namespace piet::core
+
+#endif  // PIET_CORE_TIMESERIES_H_

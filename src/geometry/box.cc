@@ -1,0 +1,18 @@
+#include "geometry/box.h"
+
+#include <sstream>
+
+namespace piet::geometry {
+
+std::string BoundingBox::ToString() const {
+  std::ostringstream os;
+  if (empty()) {
+    os << "Box[empty]";
+  } else {
+    os << "Box[(" << min_x << ", " << min_y << ") - (" << max_x << ", "
+       << max_y << ")]";
+  }
+  return os.str();
+}
+
+}  // namespace piet::geometry

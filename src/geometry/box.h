@@ -1,0 +1,106 @@
+#ifndef PIET_GEOMETRY_BOX_H_
+#define PIET_GEOMETRY_BOX_H_
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "geometry/point.h"
+
+namespace piet::geometry {
+
+/// An axis-aligned bounding box. Default-constructed boxes are *empty*
+/// (inverted bounds) and behave as the identity for ExtendWith/Union.
+struct BoundingBox {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  constexpr BoundingBox() = default;
+  constexpr BoundingBox(double x0, double y0, double x1, double y1)
+      : min_x(x0), min_y(y0), max_x(x1), max_y(y1) {}
+
+  static BoundingBox FromPoints(Point a, Point b) {
+    return BoundingBox(std::min(a.x, b.x), std::min(a.y, b.y),
+                       std::max(a.x, b.x), std::max(a.y, b.y));
+  }
+
+  bool empty() const { return min_x > max_x || min_y > max_y; }
+
+  double width() const { return empty() ? 0.0 : max_x - min_x; }
+  double height() const { return empty() ? 0.0 : max_y - min_y; }
+  double Area() const { return width() * height(); }
+  /// Half-perimeter; the classic R-tree "margin" metric.
+  double Margin() const { return width() + height(); }
+
+  Point Center() const {
+    return Point((min_x + max_x) / 2.0, (min_y + max_y) / 2.0);
+  }
+
+  void ExtendWith(Point p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  void ExtendWith(const BoundingBox& other) {
+    min_x = std::min(min_x, other.min_x);
+    min_y = std::min(min_y, other.min_y);
+    max_x = std::max(max_x, other.max_x);
+    max_y = std::max(max_y, other.max_y);
+  }
+
+  bool Contains(Point p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool Contains(const BoundingBox& other) const {
+    return !other.empty() && other.min_x >= min_x && other.max_x <= max_x &&
+           other.min_y >= min_y && other.max_y <= max_y;
+  }
+
+  bool Intersects(const BoundingBox& other) const {
+    return !empty() && !other.empty() && min_x <= other.max_x &&
+           other.min_x <= max_x && min_y <= other.max_y &&
+           other.min_y <= max_y;
+  }
+
+  /// The (possibly empty) intersection box.
+  BoundingBox Intersection(const BoundingBox& other) const {
+    BoundingBox out(std::max(min_x, other.min_x), std::max(min_y, other.min_y),
+                    std::min(max_x, other.max_x),
+                    std::min(max_y, other.max_y));
+    return out;
+  }
+
+  BoundingBox Union(const BoundingBox& other) const {
+    BoundingBox out = *this;
+    out.ExtendWith(other);
+    return out;
+  }
+
+  /// Area growth if `other` were merged into this box.
+  double Enlargement(const BoundingBox& other) const {
+    return Union(other).Area() - Area();
+  }
+
+  /// Minimum squared distance from `p` to the box (0 when inside).
+  double SquaredDistanceTo(Point p) const {
+    double dx = std::max({min_x - p.x, 0.0, p.x - max_x});
+    double dy = std::max({min_y - p.y, 0.0, p.y - max_y});
+    return dx * dx + dy * dy;
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const BoundingBox& a, const BoundingBox& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
+}  // namespace piet::geometry
+
+#endif  // PIET_GEOMETRY_BOX_H_

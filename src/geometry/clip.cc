@@ -1,0 +1,132 @@
+#include "geometry/clip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/predicates.h"
+
+namespace piet::geometry {
+
+namespace {
+
+// Intersection of the (infinite) line through (a, b) with segment (p, q),
+// assuming they are known to cross. Solves the standard parametric system.
+Point LineSegmentCross(Point a, Point b, Point p, Point q) {
+  Point r = b - a;
+  Point s = q - p;
+  double denom = Cross(r, s);
+  // Caller guarantees non-parallel; clamp defensively.
+  double u = denom != 0.0 ? Cross(p - a, r) / denom : 0.0;
+  u = std::clamp(u, 0.0, 1.0);
+  return p + s * u;
+}
+
+// Signed "inside" test relative to directed clip edge (a -> b) of a CCW
+// ring: inside is the left half-plane (orientation >= 0 keeps boundary).
+bool InsideEdge(Point p, Point a, Point b) { return Orientation(a, b, p) >= 0; }
+
+}  // namespace
+
+std::optional<Ring> ClipRingToConvex(const Ring& subject,
+                                     const Ring& convex_clip) {
+  std::vector<Point> output = subject.vertices();
+  size_t nclip = convex_clip.size();
+
+  for (size_t e = 0; e < nclip && !output.empty(); ++e) {
+    Point ca = convex_clip.vertices()[e];
+    Point cb = convex_clip.vertices()[(e + 1) % nclip];
+
+    std::vector<Point> input;
+    input.swap(output);
+    if (input.empty()) {
+      break;
+    }
+    Point prev = input.back();
+    bool prev_inside = InsideEdge(prev, ca, cb);
+    for (const Point& cur : input) {
+      bool cur_inside = InsideEdge(cur, ca, cb);
+      if (cur_inside) {
+        if (!prev_inside) {
+          output.push_back(LineSegmentCross(ca, cb, prev, cur));
+        }
+        output.push_back(cur);
+      } else if (prev_inside) {
+        output.push_back(LineSegmentCross(ca, cb, prev, cur));
+      }
+      prev = cur;
+      prev_inside = cur_inside;
+    }
+  }
+
+  // Deduplicate consecutive (possibly coincident after clipping) vertices.
+  std::vector<Point> cleaned;
+  for (const Point& p : output) {
+    if (cleaned.empty() || !(cleaned.back() == p)) {
+      cleaned.push_back(p);
+    }
+  }
+  while (cleaned.size() >= 2 && cleaned.front() == cleaned.back()) {
+    cleaned.pop_back();
+  }
+  if (cleaned.size() < 3) {
+    return std::nullopt;
+  }
+  Ring ring(std::move(cleaned));
+  if (std::abs(ring.SignedArea()) <= 0.0) {
+    return std::nullopt;
+  }
+  if (!ring.IsCounterClockwise()) {
+    ring.Reverse();
+  }
+  return ring;
+}
+
+std::optional<Polygon> ConvexIntersection(const Polygon& a, const Polygon& b) {
+  if (!a.Bounds().Intersects(b.Bounds())) {
+    return std::nullopt;
+  }
+  std::optional<Ring> ring = ClipRingToConvex(a.shell(), b.shell());
+  if (!ring) {
+    return std::nullopt;
+  }
+  return Polygon(std::move(*ring));
+}
+
+double ConvexIntersectionArea(const Polygon& a, const Polygon& b) {
+  std::optional<Polygon> isect = ConvexIntersection(a, b);
+  return isect ? isect->Area() : 0.0;
+}
+
+std::optional<Ring> ConvexHull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end(), PointLexLess());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  if (points.size() < 3) {
+    return std::nullopt;
+  }
+
+  std::vector<Point> hull(2 * points.size());
+  size_t k = 0;
+  // Lower hull.
+  for (const Point& p : points) {
+    while (k >= 2 && Orientation(hull[k - 2], hull[k - 1], p) <= 0) {
+      --k;
+    }
+    hull[k++] = p;
+  }
+  // Upper hull.
+  size_t lower = k + 1;
+  for (size_t i = points.size() - 1; i-- > 0;) {
+    const Point& p = points[i];
+    while (k >= lower && Orientation(hull[k - 2], hull[k - 1], p) <= 0) {
+      --k;
+    }
+    hull[k++] = p;
+  }
+  hull.resize(k - 1);
+  if (hull.size() < 3) {
+    return std::nullopt;
+  }
+  return Ring(std::move(hull));
+}
+
+}  // namespace piet::geometry

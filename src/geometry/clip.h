@@ -1,0 +1,35 @@
+#ifndef PIET_GEOMETRY_CLIP_H_
+#define PIET_GEOMETRY_CLIP_H_
+
+#include <optional>
+#include <vector>
+
+#include "geometry/polygon.h"
+
+namespace piet::geometry {
+
+/// Clips a subject ring against a *convex* clip ring using
+/// Sutherland–Hodgman. Returns the intersection ring, or nullopt when the
+/// intersection is empty or degenerate (area 0).
+///
+/// This is the exact kernel used by the convex Piet overlay (Sec. 5 of the
+/// paper): overlay cells are built by iterated clipping of convex layer
+/// polygons against each other.
+std::optional<Ring> ClipRingToConvex(const Ring& subject,
+                                     const Ring& convex_clip);
+
+/// Intersection of two convex polygons (no holes). Returns nullopt when the
+/// overlap has zero area.
+std::optional<Polygon> ConvexIntersection(const Polygon& a, const Polygon& b);
+
+/// Area of the intersection of two convex polygons (0 when disjoint).
+double ConvexIntersectionArea(const Polygon& a, const Polygon& b);
+
+/// Andrew's monotone-chain convex hull. Returns the hull vertices in CCW
+/// order; collinear interior points are removed. Requires >= 3 input points
+/// not all collinear to form a Ring; otherwise returns nullopt.
+std::optional<Ring> ConvexHull(std::vector<Point> points);
+
+}  // namespace piet::geometry
+
+#endif  // PIET_GEOMETRY_CLIP_H_

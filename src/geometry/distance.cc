@@ -1,0 +1,92 @@
+#include "geometry/distance.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace piet::geometry {
+
+namespace {
+
+// Minimum distance from a segment to every ring edge of the polygon.
+double MinEdgeDistance(const Segment& s, const Polygon& polygon) {
+  double best = std::numeric_limits<double>::infinity();
+  const Ring& shell = polygon.shell();
+  for (size_t i = 0; i < shell.size(); ++i) {
+    best = std::min(best, SegmentDistance(s, shell.edge(i)));
+  }
+  for (const Ring& hole : polygon.holes()) {
+    for (size_t i = 0; i < hole.size(); ++i) {
+      best = std::min(best, SegmentDistance(s, hole.edge(i)));
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double DistanceToPolygon(Point p, const Polygon& polygon) {
+  if (polygon.Contains(p)) {
+    return 0.0;
+  }
+  double best = std::numeric_limits<double>::infinity();
+  const Ring& shell = polygon.shell();
+  for (size_t i = 0; i < shell.size(); ++i) {
+    best = std::min(best, shell.edge(i).DistanceTo(p));
+  }
+  for (const Ring& hole : polygon.holes()) {
+    for (size_t i = 0; i < hole.size(); ++i) {
+      best = std::min(best, hole.edge(i).DistanceTo(p));
+    }
+  }
+  return best;
+}
+
+double SegmentPolygonDistance(const Segment& s, const Polygon& polygon) {
+  // Any endpoint inside (or edge crossing) => 0.
+  if (polygon.Contains(s.a) || polygon.Contains(s.b)) {
+    return 0.0;
+  }
+  return MinEdgeDistance(s, polygon);
+}
+
+double PolylinePolygonDistance(const Polyline& line, const Polygon& polygon) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < line.num_segments(); ++i) {
+    best = std::min(best, SegmentPolygonDistance(line.segment(i), polygon));
+    if (best == 0.0) {
+      return 0.0;
+    }
+  }
+  return best;
+}
+
+double PolygonDistance(const Polygon& a, const Polygon& b) {
+  if (a.Intersects(b)) {
+    return 0.0;
+  }
+  double best = std::numeric_limits<double>::infinity();
+  const Ring& shell = a.shell();
+  for (size_t i = 0; i < shell.size(); ++i) {
+    best = std::min(best, MinEdgeDistance(shell.edge(i), b));
+  }
+  return best;
+}
+
+double DistanceToPolyline(Point p, const Polyline& line) {
+  return line.DistanceTo(p);
+}
+
+double PolylineDistance(const Polyline& a, const Polyline& b) {
+  if (a.Intersects(b)) {
+    return 0.0;
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < a.num_segments(); ++i) {
+    for (size_t j = 0; j < b.num_segments(); ++j) {
+      best = std::min(best, SegmentDistance(a.segment(i), b.segment(j)));
+    }
+  }
+  return best;
+}
+
+}  // namespace piet::geometry

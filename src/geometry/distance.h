@@ -1,0 +1,35 @@
+#ifndef PIET_GEOMETRY_DISTANCE_H_
+#define PIET_GEOMETRY_DISTANCE_H_
+
+#include "geometry/polygon.h"
+#include "geometry/polyline.h"
+
+namespace piet::geometry {
+
+/// Minimum-distance kernels between the layer geometry kinds (0 whenever
+/// the closed shapes share a point). These power proximity conditions
+/// between whole geometries — e.g. "neighborhoods within 100 m of the
+/// river".
+
+/// Distance from `p` to the closed polygon (0 when inside or on it).
+double DistanceToPolygon(Point p, const Polygon& polygon);
+
+/// Minimum distance between a closed segment and a closed polygon.
+double SegmentPolygonDistance(const Segment& s, const Polygon& polygon);
+
+/// Minimum distance between a polyline and a closed polygon.
+double PolylinePolygonDistance(const Polyline& line, const Polygon& polygon);
+
+/// Minimum distance between two closed polygons (0 on overlap/touch).
+double PolygonDistance(const Polygon& a, const Polygon& b);
+
+/// Minimum distance between a point and a polyline (alias of the member,
+/// for symmetry).
+double DistanceToPolyline(Point p, const Polyline& line);
+
+/// Minimum distance between two polylines.
+double PolylineDistance(const Polyline& a, const Polyline& b);
+
+}  // namespace piet::geometry
+
+#endif  // PIET_GEOMETRY_DISTANCE_H_

@@ -1,0 +1,13 @@
+#include "geometry/point.h"
+
+#include <sstream>
+
+namespace piet::geometry {
+
+std::string Point::ToString() const {
+  std::ostringstream os;
+  os << "(" << x << ", " << y << ")";
+  return os.str();
+}
+
+}  // namespace piet::geometry

@@ -1,0 +1,71 @@
+#ifndef PIET_GEOMETRY_POINT_H_
+#define PIET_GEOMETRY_POINT_H_
+
+#include <cmath>
+#include <string>
+
+namespace piet::geometry {
+
+/// A point (or free vector) in the plane. Coordinates are doubles; the
+/// paper's algebraic part assumes rational coordinates, which doubles
+/// represent exactly for the dyadic rationals all generators emit.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point() = default;
+  constexpr Point(double px, double py) : x(px), y(py) {}
+
+  friend constexpr Point operator+(Point a, Point b) {
+    return Point(a.x + b.x, a.y + b.y);
+  }
+  friend constexpr Point operator-(Point a, Point b) {
+    return Point(a.x - b.x, a.y - b.y);
+  }
+  friend constexpr Point operator*(Point a, double s) {
+    return Point(a.x * s, a.y * s);
+  }
+  friend constexpr Point operator*(double s, Point a) { return a * s; }
+  friend constexpr Point operator/(Point a, double s) {
+    return Point(a.x / s, a.y / s);
+  }
+  friend constexpr bool operator==(Point a, Point b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend constexpr bool operator!=(Point a, Point b) { return !(a == b); }
+
+  std::string ToString() const;
+};
+
+/// Dot product.
+constexpr double Dot(Point a, Point b) { return a.x * b.x + a.y * b.y; }
+
+/// 2D cross product (z-component of the 3D cross of embedded vectors).
+constexpr double Cross(Point a, Point b) { return a.x * b.y - a.y * b.x; }
+
+/// Squared Euclidean distance.
+constexpr double SquaredDistance(Point a, Point b) {
+  return Dot(a - b, a - b);
+}
+
+/// Euclidean distance.
+inline double Distance(Point a, Point b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+/// Euclidean norm of `a` viewed as a vector.
+inline double Norm(Point a) { return std::sqrt(Dot(a, a)); }
+
+/// Lexicographic (x, then y) comparison for sorting and canonicalization.
+struct PointLexLess {
+  bool operator()(Point a, Point b) const {
+    if (a.x != b.x) {
+      return a.x < b.x;
+    }
+    return a.y < b.y;
+  }
+};
+
+}  // namespace piet::geometry
+
+#endif  // PIET_GEOMETRY_POINT_H_

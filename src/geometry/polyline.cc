@@ -1,0 +1,106 @@
+#include "geometry/polyline.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "geometry/predicates.h"
+
+namespace piet::geometry {
+
+Polyline::Polyline(std::vector<Point> vertices)
+    : vertices_(std::move(vertices)) {
+  cum_length_.reserve(vertices_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    if (i > 0) {
+      acc += Distance(vertices_[i - 1], vertices_[i]);
+    }
+    cum_length_.push_back(acc);
+    bounds_.ExtendWith(vertices_[i]);
+  }
+}
+
+Result<Polyline> Polyline::Create(std::vector<Point> vertices) {
+  if (vertices.size() < 2) {
+    return Status::InvalidArgument("polyline needs at least 2 vertices");
+  }
+  for (size_t i = 1; i < vertices.size(); ++i) {
+    if (vertices[i] == vertices[i - 1]) {
+      return Status::InvalidArgument("polyline has a zero-length edge at " +
+                                     std::to_string(i));
+    }
+  }
+  return Polyline(std::move(vertices));
+}
+
+double Polyline::Length() const {
+  return cum_length_.empty() ? 0.0 : cum_length_.back();
+}
+
+Point Polyline::AtArcLength(double s) const {
+  if (vertices_.empty()) {
+    return Point();
+  }
+  if (s <= 0.0) {
+    return vertices_.front();
+  }
+  if (s >= Length()) {
+    return vertices_.back();
+  }
+  auto it = std::lower_bound(cum_length_.begin(), cum_length_.end(), s);
+  size_t i = static_cast<size_t>(it - cum_length_.begin());
+  // cum_length_[i] >= s and i >= 1 because cum_length_[0] == 0 < s.
+  double seg_start = cum_length_[i - 1];
+  double seg_len = cum_length_[i] - seg_start;
+  double t = seg_len > 0.0 ? (s - seg_start) / seg_len : 0.0;
+  return segment(i - 1).At(t);
+}
+
+double Polyline::DistanceTo(Point p) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < num_segments(); ++i) {
+    best = std::min(best, segment(i).DistanceTo(p));
+  }
+  return best;
+}
+
+bool Polyline::Contains(Point p) const {
+  for (size_t i = 0; i < num_segments(); ++i) {
+    if (OnSegment(p, vertices_[i], vertices_[i + 1])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Polyline::IntersectsSegment(const Segment& s) const {
+  if (!bounds_.Intersects(s.Bounds())) {
+    return false;
+  }
+  for (size_t i = 0; i < num_segments(); ++i) {
+    if (SegmentsIntersect(vertices_[i], vertices_[i + 1], s.a, s.b)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Polyline::Intersects(const Polyline& other) const {
+  if (!bounds_.Intersects(other.bounds_)) {
+    return false;
+  }
+  for (size_t i = 0; i < num_segments(); ++i) {
+    if (other.IntersectsSegment(segment(i))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Polyline::ToString() const {
+  std::ostringstream os;
+  os << "Polyline[" << vertices_.size() << " pts, len=" << Length() << "]";
+  return os.str();
+}
+
+}  // namespace piet::geometry

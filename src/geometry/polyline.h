@@ -1,0 +1,64 @@
+#ifndef PIET_GEOMETRY_POLYLINE_H_
+#define PIET_GEOMETRY_POLYLINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/box.h"
+#include "geometry/segment.h"
+
+namespace piet::geometry {
+
+/// An open polygonal chain of >= 2 vertices. This is the paper's `polyline`
+/// geometry (rivers, streets, highways) and also serves as the static
+/// spatial rendering of a trajectory (query type 6).
+class Polyline {
+ public:
+  Polyline() = default;
+  explicit Polyline(std::vector<Point> vertices);
+
+  /// Validates that a polyline has >= 2 vertices and no zero-length edge.
+  static Result<Polyline> Create(std::vector<Point> vertices);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  size_t num_vertices() const { return vertices_.size(); }
+  size_t num_segments() const {
+    return vertices_.size() < 2 ? 0 : vertices_.size() - 1;
+  }
+  Segment segment(size_t i) const {
+    return Segment(vertices_[i], vertices_[i + 1]);
+  }
+
+  /// Total arc length.
+  double Length() const;
+
+  /// Point at arc-length `s` from the start, clamped to [0, Length()].
+  Point AtArcLength(double s) const;
+
+  /// Minimum distance from `p` to the chain.
+  double DistanceTo(Point p) const;
+
+  /// True if `p` lies on the chain.
+  bool Contains(Point p) const;
+
+  /// True if any edge of this chain intersects segment `s`.
+  bool IntersectsSegment(const Segment& s) const;
+
+  /// True if the two chains share at least one point.
+  bool Intersects(const Polyline& other) const;
+
+  BoundingBox Bounds() const { return bounds_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Point> vertices_;
+  // Cumulative arc length; cum_length_[i] = length of prefix up to vertex i.
+  std::vector<double> cum_length_;
+  BoundingBox bounds_;
+};
+
+}  // namespace piet::geometry
+
+#endif  // PIET_GEOMETRY_POLYLINE_H_

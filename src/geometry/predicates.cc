@@ -1,0 +1,177 @@
+#include "geometry/predicates.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace piet::geometry {
+
+namespace {
+
+// Error-bound coefficient for the 2x2 determinant computed in doubles,
+// following the structure of Shewchuk's orient2d filter.
+constexpr double kOrientErrorBound = 3.330669073875469697e-16;  // (3+16eps)eps
+
+int SignOf(long double v) {
+  if (v > 0) {
+    return 1;
+  }
+  if (v < 0) {
+    return -1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int Orientation(Point a, Point b, Point c) {
+  double detleft = (a.x - c.x) * (b.y - c.y);
+  double detright = (a.y - c.y) * (b.x - c.x);
+  double det = detleft - detright;
+
+  double detsum;
+  if (detleft > 0) {
+    if (detright <= 0) {
+      return det > 0 ? 1 : (det < 0 ? -1 : 0);
+    }
+    detsum = detleft + detright;
+  } else if (detleft < 0) {
+    if (detright >= 0) {
+      return det > 0 ? 1 : (det < 0 ? -1 : 0);
+    }
+    detsum = -detleft - detright;
+  } else {
+    return det > 0 ? 1 : (det < 0 ? -1 : 0);
+  }
+
+  double errbound = kOrientErrorBound * detsum;
+  if (det >= errbound || -det >= errbound) {
+    return det > 0 ? 1 : -1;
+  }
+
+  // Near-degenerate: re-evaluate in long double (64-bit mantissa on x86),
+  // which is exact for the coordinate magnitudes our generators produce.
+  long double lx = (static_cast<long double>(a.x) - c.x) *
+                   (static_cast<long double>(b.y) - c.y);
+  long double ly = (static_cast<long double>(a.y) - c.y) *
+                   (static_cast<long double>(b.x) - c.x);
+  return SignOf(lx - ly);
+}
+
+bool OnSegment(Point p, Point a, Point b) {
+  if (Orientation(a, b, p) != 0) {
+    return false;
+  }
+  return p.x >= std::min(a.x, b.x) && p.x <= std::max(a.x, b.x) &&
+         p.y >= std::min(a.y, b.y) && p.y <= std::max(a.y, b.y);
+}
+
+namespace {
+
+// For collinear segments, projects onto the dominant axis and returns the
+// overlapping closed interval as a pair of points, if any.
+std::optional<std::pair<Point, Point>> CollinearOverlap(Point a0, Point a1,
+                                                        Point b0, Point b1) {
+  auto key = [&](Point p) {
+    // Project onto the dominant extent of segment a (fallback: x).
+    double dx = std::abs(a1.x - a0.x);
+    double dy = std::abs(a1.y - a0.y);
+    return (dx >= dy) ? p.x : p.y;
+  };
+  Point lo_a = a0, hi_a = a1, lo_b = b0, hi_b = b1;
+  if (key(lo_a) > key(hi_a)) {
+    std::swap(lo_a, hi_a);
+  }
+  if (key(lo_b) > key(hi_b)) {
+    std::swap(lo_b, hi_b);
+  }
+  Point lo = (key(lo_a) >= key(lo_b)) ? lo_a : lo_b;
+  Point hi = (key(hi_a) <= key(hi_b)) ? hi_a : hi_b;
+  if (key(lo) > key(hi)) {
+    return std::nullopt;
+  }
+  return std::make_pair(lo, hi);
+}
+
+}  // namespace
+
+SegmentIntersection IntersectSegments(Point a0, Point a1, Point b0, Point b1) {
+  SegmentIntersection out;
+  int o1 = Orientation(a0, a1, b0);
+  int o2 = Orientation(a0, a1, b1);
+  int o3 = Orientation(b0, b1, a0);
+  int o4 = Orientation(b0, b1, a1);
+
+  if (o1 != o2 && o3 != o4) {
+    // Proper crossing: solve for the intersection parameter on segment a.
+    Point r = a1 - a0;
+    Point s = b1 - b0;
+    double denom = Cross(r, s);
+    // o-sign disagreement guarantees denom != 0 up to rounding; guard anyway.
+    if (denom != 0.0) {
+      double t = Cross(b0 - a0, s) / denom;
+      t = std::clamp(t, 0.0, 1.0);
+      out.kind = SegmentIntersectionKind::kPoint;
+      out.p0 = a0 + r * t;
+      out.p1 = out.p0;
+      return out;
+    }
+  }
+
+  if (o1 == 0 && o2 == 0 && o3 == 0 && o4 == 0) {
+    // Degenerate (point) segments: containment tests, not interval math.
+    if (a0 == a1 || b0 == b1) {
+      Point p = (a0 == a1) ? a0 : b0;
+      bool hit = (a0 == a1) ? OnSegment(a0, b0, b1) : OnSegment(b0, a0, a1);
+      if (hit) {
+        out.kind = SegmentIntersectionKind::kPoint;
+        out.p0 = out.p1 = p;
+      }
+      return out;
+    }
+    // All collinear; intersect the 1D intervals.
+    auto overlap = CollinearOverlap(a0, a1, b0, b1);
+    if (!overlap) {
+      return out;
+    }
+    if (overlap->first == overlap->second) {
+      out.kind = SegmentIntersectionKind::kPoint;
+      out.p0 = overlap->first;
+      out.p1 = overlap->first;
+    } else {
+      out.kind = SegmentIntersectionKind::kOverlap;
+      out.p0 = overlap->first;
+      out.p1 = overlap->second;
+    }
+    return out;
+  }
+
+  // Endpoint-touching cases.
+  if (o1 == 0 && OnSegment(b0, a0, a1)) {
+    out.kind = SegmentIntersectionKind::kPoint;
+    out.p0 = out.p1 = b0;
+    return out;
+  }
+  if (o2 == 0 && OnSegment(b1, a0, a1)) {
+    out.kind = SegmentIntersectionKind::kPoint;
+    out.p0 = out.p1 = b1;
+    return out;
+  }
+  if (o3 == 0 && OnSegment(a0, b0, b1)) {
+    out.kind = SegmentIntersectionKind::kPoint;
+    out.p0 = out.p1 = a0;
+    return out;
+  }
+  if (o4 == 0 && OnSegment(a1, b0, b1)) {
+    out.kind = SegmentIntersectionKind::kPoint;
+    out.p0 = out.p1 = a1;
+    return out;
+  }
+  return out;
+}
+
+bool SegmentsIntersect(Point a0, Point a1, Point b0, Point b1) {
+  return IntersectSegments(a0, a1, b0, b1).kind !=
+         SegmentIntersectionKind::kNone;
+}
+
+}  // namespace piet::geometry

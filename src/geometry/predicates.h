@@ -1,0 +1,44 @@
+#ifndef PIET_GEOMETRY_PREDICATES_H_
+#define PIET_GEOMETRY_PREDICATES_H_
+
+#include <optional>
+
+#include "geometry/point.h"
+
+namespace piet::geometry {
+
+/// Sign of the signed area of triangle (a, b, c): +1 counter-clockwise,
+/// -1 clockwise, 0 collinear. Uses an adaptive evaluation: a fast double
+/// determinant with a forward error bound, falling back to long-double
+/// evaluation for near-degenerate inputs.
+int Orientation(Point a, Point b, Point c);
+
+/// True if `p` lies on the closed segment [a, b] (collinear and within the
+/// bounding box of the segment).
+bool OnSegment(Point p, Point a, Point b);
+
+/// How two closed segments relate.
+enum class SegmentIntersectionKind {
+  kNone = 0,       ///< Disjoint.
+  kPoint,          ///< Exactly one point in common (proper or endpoint touch).
+  kOverlap,        ///< Collinear with a shared sub-segment.
+};
+
+/// Result of intersecting two closed segments.
+struct SegmentIntersection {
+  SegmentIntersectionKind kind = SegmentIntersectionKind::kNone;
+  /// For kPoint: the point. For kOverlap: one endpoint of the shared part.
+  Point p0;
+  /// For kOverlap: the other endpoint of the shared part.
+  Point p1;
+};
+
+/// Computes the intersection of closed segments [a0,a1] and [b0,b1].
+SegmentIntersection IntersectSegments(Point a0, Point a1, Point b0, Point b1);
+
+/// True if the closed segments share at least one point.
+bool SegmentsIntersect(Point a0, Point a1, Point b0, Point b1);
+
+}  // namespace piet::geometry
+
+#endif  // PIET_GEOMETRY_PREDICATES_H_

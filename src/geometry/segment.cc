@@ -1,0 +1,26 @@
+#include "geometry/segment.h"
+
+#include <algorithm>
+
+#include "geometry/predicates.h"
+
+namespace piet::geometry {
+
+double Segment::ClosestParam(Point p) const {
+  Point d = b - a;
+  double len2 = Dot(d, d);
+  if (len2 == 0.0) {
+    return 0.0;
+  }
+  return std::clamp(Dot(p - a, d) / len2, 0.0, 1.0);
+}
+
+double SegmentDistance(const Segment& s1, const Segment& s2) {
+  if (SegmentsIntersect(s1.a, s1.b, s2.a, s2.b)) {
+    return 0.0;
+  }
+  return std::min({s1.DistanceTo(s2.a), s1.DistanceTo(s2.b),
+                   s2.DistanceTo(s1.a), s2.DistanceTo(s1.b)});
+}
+
+}  // namespace piet::geometry

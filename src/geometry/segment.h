@@ -1,0 +1,40 @@
+#ifndef PIET_GEOMETRY_SEGMENT_H_
+#define PIET_GEOMETRY_SEGMENT_H_
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace piet::geometry {
+
+/// A closed line segment [a, b].
+struct Segment {
+  Point a;
+  Point b;
+
+  constexpr Segment() = default;
+  constexpr Segment(Point pa, Point pb) : a(pa), b(pb) {}
+
+  double Length() const { return Distance(a, b); }
+  double SquaredLength() const { return SquaredDistance(a, b); }
+
+  /// Point at parameter t in [0, 1] along the segment.
+  Point At(double t) const { return a + (b - a) * t; }
+
+  BoundingBox Bounds() const { return BoundingBox::FromPoints(a, b); }
+
+  /// Parameter in [0, 1] of the point on the segment closest to `p`.
+  double ClosestParam(Point p) const;
+
+  /// The point on the segment closest to `p`.
+  Point ClosestPoint(Point p) const { return At(ClosestParam(p)); }
+
+  /// Minimum distance from `p` to the segment.
+  double DistanceTo(Point p) const { return Distance(p, ClosestPoint(p)); }
+};
+
+/// Minimum distance between two segments.
+double SegmentDistance(const Segment& s1, const Segment& s2);
+
+}  // namespace piet::geometry
+
+#endif  // PIET_GEOMETRY_SEGMENT_H_

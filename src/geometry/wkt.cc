@@ -1,0 +1,207 @@
+#include "geometry/wkt.h"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace piet::geometry {
+
+namespace {
+
+void AppendCoord(std::ostringstream* os, Point p) {
+  (*os) << p.x << " " << p.y;
+}
+
+void AppendRing(std::ostringstream* os, const Ring& ring) {
+  (*os) << "(";
+  const auto& v = ring.vertices();
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) {
+      (*os) << ", ";
+    }
+    AppendCoord(os, v[i]);
+  }
+  // WKT rings repeat the first vertex.
+  (*os) << ", ";
+  AppendCoord(os, v.front());
+  (*os) << ")";
+}
+
+/// Minimal recursive-descent WKT scanner.
+class WktScanner {
+ public:
+  explicit WktScanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeTag(std::string_view tag) {
+    SkipSpace();
+    if (pos_ + tag.size() > text_.size()) {
+      return false;
+    }
+    if (!EqualsIgnoreCase(text_.substr(pos_, tag.size()), tag)) {
+      return false;
+    }
+    pos_ += tag.size();
+    return true;
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<double> ParseNumber() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (start == pos_) {
+      return Status::ParseError("expected number at offset " +
+                                std::to_string(start));
+    }
+    double value = 0.0;
+    auto res = std::from_chars(text_.data() + start, text_.data() + pos_,
+                               value);
+    if (res.ec != std::errc()) {
+      return Status::ParseError("bad number in WKT");
+    }
+    return value;
+  }
+
+  Result<Point> ParseCoord() {
+    PIET_ASSIGN_OR_RETURN(double x, ParseNumber());
+    PIET_ASSIGN_OR_RETURN(double y, ParseNumber());
+    return Point(x, y);
+  }
+
+  Result<std::vector<Point>> ParseCoordList() {
+    if (!ConsumeChar('(')) {
+      return Status::ParseError("expected '(' in WKT");
+    }
+    std::vector<Point> pts;
+    while (true) {
+      PIET_ASSIGN_OR_RETURN(Point p, ParseCoord());
+      pts.push_back(p);
+      if (ConsumeChar(',')) {
+        continue;
+      }
+      if (ConsumeChar(')')) {
+        break;
+      }
+      return Status::ParseError("expected ',' or ')' in WKT coordinate list");
+    }
+    return pts;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string ToWkt(Point p) {
+  std::ostringstream os;
+  os << "POINT (";
+  AppendCoord(&os, p);
+  os << ")";
+  return os.str();
+}
+
+std::string ToWkt(const Polyline& line) {
+  std::ostringstream os;
+  os << "LINESTRING (";
+  const auto& v = line.vertices();
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    AppendCoord(&os, v[i]);
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string ToWkt(const Polygon& polygon) {
+  std::ostringstream os;
+  os << "POLYGON (";
+  AppendRing(&os, polygon.shell());
+  for (const Ring& hole : polygon.holes()) {
+    os << ", ";
+    AppendRing(&os, hole);
+  }
+  os << ")";
+  return os.str();
+}
+
+Result<Point> PointFromWkt(std::string_view wkt) {
+  WktScanner scan(wkt);
+  if (!scan.ConsumeTag("POINT")) {
+    return Status::ParseError("expected POINT tag");
+  }
+  if (!scan.ConsumeChar('(')) {
+    return Status::ParseError("expected '(' after POINT");
+  }
+  PIET_ASSIGN_OR_RETURN(Point p, scan.ParseCoord());
+  if (!scan.ConsumeChar(')') || !scan.AtEnd()) {
+    return Status::ParseError("trailing content after POINT");
+  }
+  return p;
+}
+
+Result<Polyline> PolylineFromWkt(std::string_view wkt) {
+  WktScanner scan(wkt);
+  if (!scan.ConsumeTag("LINESTRING")) {
+    return Status::ParseError("expected LINESTRING tag");
+  }
+  PIET_ASSIGN_OR_RETURN(std::vector<Point> pts, scan.ParseCoordList());
+  if (!scan.AtEnd()) {
+    return Status::ParseError("trailing content after LINESTRING");
+  }
+  return Polyline::Create(std::move(pts));
+}
+
+Result<Polygon> PolygonFromWkt(std::string_view wkt) {
+  WktScanner scan(wkt);
+  if (!scan.ConsumeTag("POLYGON")) {
+    return Status::ParseError("expected POLYGON tag");
+  }
+  if (!scan.ConsumeChar('(')) {
+    return Status::ParseError("expected '(' after POLYGON");
+  }
+  PIET_ASSIGN_OR_RETURN(std::vector<Point> shell_pts, scan.ParseCoordList());
+  PIET_ASSIGN_OR_RETURN(Ring shell, Ring::Create(std::move(shell_pts)));
+  std::vector<Ring> holes;
+  while (scan.ConsumeChar(',')) {
+    PIET_ASSIGN_OR_RETURN(std::vector<Point> hole_pts, scan.ParseCoordList());
+    PIET_ASSIGN_OR_RETURN(Ring hole, Ring::Create(std::move(hole_pts)));
+    holes.push_back(std::move(hole));
+  }
+  if (!scan.ConsumeChar(')') || !scan.AtEnd()) {
+    return Status::ParseError("trailing content after POLYGON");
+  }
+  return Polygon::Create(std::move(shell), std::move(holes));
+}
+
+}  // namespace piet::geometry

@@ -1,0 +1,27 @@
+#ifndef PIET_GEOMETRY_WKT_H_
+#define PIET_GEOMETRY_WKT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "geometry/polygon.h"
+#include "geometry/polyline.h"
+
+namespace piet::geometry {
+
+/// Well-Known-Text serialization for the geometry kinds the paper's layers
+/// use (POINT, LINESTRING, POLYGON with holes).
+std::string ToWkt(Point p);
+std::string ToWkt(const Polyline& line);
+std::string ToWkt(const Polygon& polygon);
+
+/// Parsers; accept the exact output of the writers plus arbitrary internal
+/// whitespace and case-insensitive tags.
+Result<Point> PointFromWkt(std::string_view wkt);
+Result<Polyline> PolylineFromWkt(std::string_view wkt);
+Result<Polygon> PolygonFromWkt(std::string_view wkt);
+
+}  // namespace piet::geometry
+
+#endif  // PIET_GEOMETRY_WKT_H_

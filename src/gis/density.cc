@@ -1,0 +1,106 @@
+#include "gis/density.h"
+
+#include "geometry/clip.h"
+
+namespace piet::gis {
+
+using geometry::BoundingBox;
+using geometry::Point;
+using geometry::Polygon;
+
+double DensityField::IntegrateOverPolygon(const Polygon& polygon) const {
+  BoundingBox box = polygon.Bounds();
+  if (box.empty()) {
+    return 0.0;
+  }
+  int n = quadrature_resolution();
+  double dx = box.width() / n;
+  double dy = box.height() / n;
+  if (dx == 0.0 || dy == 0.0) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (int iy = 0; iy < n; ++iy) {
+    double y = box.min_y + (iy + 0.5) * dy;
+    for (int ix = 0; ix < n; ++ix) {
+      Point p(box.min_x + (ix + 0.5) * dx, y);
+      if (polygon.Contains(p)) {
+        total += ValueAt(p);
+      }
+    }
+  }
+  return total * dx * dy;
+}
+
+PerRegionDensity::PerRegionDensity(const Layer* layer,
+                                   std::vector<double> densities)
+    : layer_(layer), densities_(std::move(densities)) {
+  densities_.resize(layer_->size(), 0.0);
+}
+
+double PerRegionDensity::ValueAt(Point p) const {
+  std::vector<GeometryId> hits = layer_->GeometriesContaining(p);
+  if (hits.empty()) {
+    return 0.0;
+  }
+  return densities_[static_cast<size_t>(hits.front())];
+}
+
+double PerRegionDensity::IntegrateOverPolygon(const Polygon& polygon) const {
+  // Exact path: convex query against convex layer polygons.
+  bool exact = polygon.IsConvex();
+  double total = 0.0;
+  for (GeometryId id : layer_->CandidatesInBox(polygon.Bounds())) {
+    auto cell = layer_->GetPolygon(id);
+    if (!cell.ok()) {
+      continue;
+    }
+    double d = densities_[static_cast<size_t>(id)];
+    if (d == 0.0) {
+      continue;
+    }
+    if (exact && cell.ValueOrDie()->IsConvex()) {
+      total += d * geometry::ConvexIntersectionArea(*cell.ValueOrDie(),
+                                                    polygon);
+    } else {
+      // Quadrature restricted to this cell: integrate the indicator of
+      // (cell ∩ polygon) times d.
+      const Polygon& cp = *cell.ValueOrDie();
+      BoundingBox box = cp.Bounds().Intersection(polygon.Bounds());
+      if (box.empty()) {
+        continue;
+      }
+      int n = quadrature_resolution();
+      double dx = box.width() / n;
+      double dy = box.height() / n;
+      if (dx == 0.0 || dy == 0.0) {
+        continue;
+      }
+      double mass = 0.0;
+      for (int iy = 0; iy < n; ++iy) {
+        double y = box.min_y + (iy + 0.5) * dy;
+        for (int ix = 0; ix < n; ++ix) {
+          Point p(box.min_x + (ix + 0.5) * dx, y);
+          if (cp.Contains(p) && polygon.Contains(p)) {
+            mass += 1.0;
+          }
+        }
+      }
+      total += d * mass * dx * dy;
+    }
+  }
+  return total;
+}
+
+double PerRegionDensity::TotalMass() const {
+  double total = 0.0;
+  for (GeometryId id : layer_->ids()) {
+    auto cell = layer_->GetPolygon(id);
+    if (cell.ok()) {
+      total += densities_[static_cast<size_t>(id)] * cell.ValueOrDie()->Area();
+    }
+  }
+  return total;
+}
+
+}  // namespace piet::gis

@@ -1,0 +1,72 @@
+#ifndef PIET_GIS_DENSITY_H_
+#define PIET_GIS_DENSITY_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "gis/layer.h"
+#include "geometry/polygon.h"
+
+namespace piet::gis {
+
+/// The measure function h(x, y) of Def. 4 (geometric aggregation), i.e. a
+/// *Base GIS fact table* (Def. 3): measures attached to the point level,
+/// finitely described. Integrals over regions realize the
+/// ∫∫ δ_C(x,y) h(x,y) dx dy of the paper for two-dimensional parts of C.
+class DensityField {
+ public:
+  virtual ~DensityField() = default;
+
+  /// Density at a point.
+  virtual double ValueAt(geometry::Point p) const = 0;
+
+  /// ∫∫_polygon h dx dy. The default uses midpoint quadrature on a
+  /// `resolution` x `resolution` grid over the polygon's bounds; subclasses
+  /// override with exact formulas where available.
+  virtual double IntegrateOverPolygon(const geometry::Polygon& polygon) const;
+
+  /// Quadrature resolution for the default integrator.
+  virtual int quadrature_resolution() const { return 128; }
+};
+
+/// h == c everywhere; integrals are exact (c * area).
+class ConstantDensity : public DensityField {
+ public:
+  explicit ConstantDensity(double value) : value_(value) {}
+
+  double ValueAt(geometry::Point) const override { return value_; }
+  double IntegrateOverPolygon(const geometry::Polygon& polygon) const override {
+    return value_ * polygon.Area();
+  }
+
+ private:
+  double value_;
+};
+
+/// Piecewise-constant density over the polygons of a layer (e.g. population
+/// density per neighborhood). Outside every polygon the density is 0; a
+/// point on a shared boundary reads the first containing polygon.
+///
+/// Integration is exact when both the layer polygons and the query polygon
+/// are convex (convex clipping); otherwise it falls back to quadrature.
+class PerRegionDensity : public DensityField {
+ public:
+  /// `layer` must be a polygon layer and outlive this field; `densities`
+  /// maps element index -> density value (aligned with layer->ids()).
+  PerRegionDensity(const Layer* layer, std::vector<double> densities);
+
+  double ValueAt(geometry::Point p) const override;
+  double IntegrateOverPolygon(const geometry::Polygon& polygon) const override;
+
+  /// Exact total mass: Σ density_i * area_i.
+  double TotalMass() const;
+
+ private:
+  const Layer* layer_;
+  std::vector<double> densities_;
+};
+
+}  // namespace piet::gis
+
+#endif  // PIET_GIS_DENSITY_H_

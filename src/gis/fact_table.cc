@@ -1,0 +1,108 @@
+#include "gis/fact_table.h"
+
+#include <algorithm>
+
+namespace piet::gis {
+
+GisFactTable::GisFactTable(const Layer* layer,
+                           std::vector<std::string> measures)
+    : layer_(layer), measures_(std::move(measures)) {}
+
+Result<size_t> GisFactTable::MeasureIndex(const std::string& measure) const {
+  for (size_t i = 0; i < measures_.size(); ++i) {
+    if (measures_[i] == measure) {
+      return i;
+    }
+  }
+  return Status::NotFound("no measure '" + measure + "'");
+}
+
+Status GisFactTable::Set(GeometryId id, std::vector<double> values) {
+  PIET_RETURN_NOT_OK(layer_->BoundsOf(id).status().WithContext(
+      "GIS fact for layer '" + layer_->name() + "'"));
+  if (values.size() != measures_.size()) {
+    return Status::InvalidArgument(
+        "measure arity " + std::to_string(values.size()) + " != schema " +
+        std::to_string(measures_.size()));
+  }
+  facts_[id] = std::move(values);
+  return Status::OK();
+}
+
+Result<const std::vector<double>*> GisFactTable::Get(GeometryId id) const {
+  auto it = facts_.find(id);
+  if (it == facts_.end()) {
+    return Status::NotFound("no fact for geometry " + std::to_string(id));
+  }
+  return &it->second;
+}
+
+Result<double> GisFactTable::Measure(GeometryId id,
+                                     const std::string& measure) const {
+  PIET_ASSIGN_OR_RETURN(size_t idx, MeasureIndex(measure));
+  PIET_ASSIGN_OR_RETURN(const std::vector<double>* values, Get(id));
+  return (*values)[idx];
+}
+
+Result<double> GisFactTable::Aggregate(const std::vector<GeometryId>& ids,
+                                       const std::string& measure,
+                                       olap::AggFunction fn) const {
+  PIET_ASSIGN_OR_RETURN(size_t idx, MeasureIndex(measure));
+  olap::Aggregator agg(fn);
+  for (GeometryId id : ids) {
+    PIET_ASSIGN_OR_RETURN(const std::vector<double>* values, Get(id));
+    PIET_RETURN_NOT_OK(agg.Update(Value((*values)[idx])));
+  }
+  Value out = agg.Finish();
+  if (out.is_null()) {
+    return 0.0;
+  }
+  return out.AsNumeric();
+}
+
+Result<olap::FactTable> GisFactTable::RollUpAlongGeometry(
+    const GisDimensionInstance& gis, GeometryKind coarse,
+    const std::vector<GeometryId>& coarse_ids, const std::string& measure,
+    olap::AggFunction fn) const {
+  PIET_ASSIGN_OR_RETURN(size_t idx, MeasureIndex(measure));
+  olap::FactTable out = olap::FactTable::Make({"geom"}, {measure});
+  for (GeometryId coarse_id : coarse_ids) {
+    PIET_ASSIGN_OR_RETURN(
+        std::vector<GeometryId> members,
+        gis.GeometryMembers(layer_->name(), layer_->kind(), coarse,
+                            coarse_id));
+    olap::Aggregator agg(fn);
+    for (GeometryId fine : members) {
+      PIET_ASSIGN_OR_RETURN(const std::vector<double>* values, Get(fine));
+      PIET_RETURN_NOT_OK(agg.Update(Value((*values)[idx])));
+    }
+    PIET_RETURN_NOT_OK(out.Append({Value(coarse_id), agg.Finish()}));
+  }
+  return out;
+}
+
+olap::FactTable GisFactTable::ToFactTable() const {
+  std::vector<std::string> dims = {"geom", "layer"};
+  olap::FactTable out = olap::FactTable::Make(dims, measures_);
+  for (const auto& [id, values] : facts_) {
+    olap::Row row = {Value(id), Value(layer_->name())};
+    for (double v : values) {
+      row.push_back(Value(v));
+    }
+    (void)out.Append(std::move(row));
+  }
+  return out;
+}
+
+Status GisFactTable::CheckTotal() const {
+  for (GeometryId id : layer_->ids()) {
+    if (!facts_.count(id)) {
+      return Status::InvalidArgument(
+          "geometry " + std::to_string(id) + " of layer '" + layer_->name() +
+          "' has no fact");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace piet::gis

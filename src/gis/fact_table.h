@@ -1,0 +1,74 @@
+#ifndef PIET_GIS_FACT_TABLE_H_
+#define PIET_GIS_FACT_TABLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "gis/instance.h"
+#include "gis/layer.h"
+#include "olap/aggregate.h"
+#include "olap/fact_table.h"
+
+namespace piet::gis {
+
+/// A GIS fact table (Def. 3): measures attached to the elements of one
+/// geometry level of one layer — schema FT = (G, L, M). (The *Base* fact
+/// table, attached to the point level, is the DensityField interface.)
+///
+/// Beyond storage, this type implements the model's aggregation semantics:
+/// measures roll up along the layer's geometry-composition relation
+/// r^{Gj,Gk}_L (e.g. per-line lengths summed to per-polyline totals).
+class GisFactTable {
+ public:
+  /// `layer` must outlive the table; its kind fixes the geometry level G.
+  GisFactTable(const Layer* layer, std::vector<std::string> measures);
+
+  const Layer& layer() const { return *layer_; }
+  const std::vector<std::string>& measures() const { return measures_; }
+  size_t num_facts() const { return facts_.size(); }
+
+  /// Sets the measure vector of one geometry element (must exist in the
+  /// layer; arity must match the schema). One fact per element.
+  Status Set(GeometryId id, std::vector<double> values);
+
+  /// The measures of one element.
+  Result<const std::vector<double>*> Get(GeometryId id) const;
+
+  /// One measure of one element.
+  Result<double> Measure(GeometryId id, const std::string& measure) const;
+
+  /// Aggregates one measure over a set of elements — the finite half of a
+  /// summable geometric aggregation when C is a set of ids of this level.
+  Result<double> Aggregate(const std::vector<GeometryId>& ids,
+                           const std::string& measure,
+                           olap::AggFunction fn) const;
+
+  /// Rolls this table up along the stored relation fine->coarse of the GIS
+  /// instance (Def. 2's r^{Gj,Gk}_L): each coarse element's measure is the
+  /// `fn`-aggregate of its composing fine elements' measures. Returns a
+  /// (coarse id -> value) relation as an olap::FactTable ("geom", measure).
+  Result<olap::FactTable> RollUpAlongGeometry(
+      const GisDimensionInstance& gis, GeometryKind coarse,
+      const std::vector<GeometryId>& coarse_ids, const std::string& measure,
+      olap::AggFunction fn) const;
+
+  /// Renders as a classical fact table with schema (geom, layer, M...).
+  olap::FactTable ToFactTable() const;
+
+  /// Every layer element must carry a fact (totality, as Def. 3's function
+  /// semantics require).
+  Status CheckTotal() const;
+
+ private:
+  Result<size_t> MeasureIndex(const std::string& measure) const;
+
+  const Layer* layer_;
+  std::vector<std::string> measures_;
+  std::map<GeometryId, std::vector<double>> facts_;
+};
+
+}  // namespace piet::gis
+
+#endif  // PIET_GIS_FACT_TABLE_H_

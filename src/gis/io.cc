@@ -1,0 +1,243 @@
+#include "gis/io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "geometry/wkt.h"
+
+namespace piet::gis {
+
+namespace {
+
+constexpr char kHeader[] = "# piet-layer v1";
+
+std::string EscapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (i + 1 >= s.size()) {
+      return Status::ParseError("dangling escape in string value");
+    }
+    ++i;
+    switch (s[i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      default:
+        return Status::ParseError("unknown escape in string value");
+    }
+  }
+  return out;
+}
+
+Result<std::string> SerializeValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt:
+      return "i:" + std::to_string(v.AsIntUnchecked());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os.precision(17);
+      os << v.AsDoubleUnchecked();
+      return "d:" + os.str();
+    }
+    case ValueType::kString:
+      return "s:" + EscapeString(v.AsStringUnchecked());
+    case ValueType::kBool:
+      return std::string("b:") + (v.AsBoolUnchecked() ? "1" : "0");
+    case ValueType::kNull:
+      return Status::InvalidArgument("cannot serialize null attribute");
+  }
+  return Status::Internal("unknown value type");
+}
+
+Result<Value> DeserializeValue(const std::string& s) {
+  if (s.size() < 2 || s[1] != ':') {
+    return Status::ParseError("bad attribute value '" + s + "'");
+  }
+  std::string body = s.substr(2);
+  switch (s[0]) {
+    case 'i': {
+      int64_t v = 0;
+      auto res = std::from_chars(body.data(), body.data() + body.size(), v);
+      if (res.ec != std::errc() || res.ptr != body.data() + body.size()) {
+        return Status::ParseError("bad int attribute '" + body + "'");
+      }
+      return Value(v);
+    }
+    case 'd': {
+      double v = 0.0;
+      auto res = std::from_chars(body.data(), body.data() + body.size(), v);
+      if (res.ec != std::errc() || res.ptr != body.data() + body.size()) {
+        return Status::ParseError("bad double attribute '" + body + "'");
+      }
+      return Value(v);
+    }
+    case 's': {
+      PIET_ASSIGN_OR_RETURN(std::string text, UnescapeString(body));
+      return Value(std::move(text));
+    }
+    case 'b':
+      return Value(body == "1");
+    default:
+      return Status::ParseError("unknown attribute type tag '" +
+                                s.substr(0, 1) + "'");
+  }
+}
+
+Result<std::string> ElementWkt(const Layer& layer, GeometryId id) {
+  switch (layer.kind()) {
+    case GeometryKind::kPoint:
+    case GeometryKind::kNode: {
+      PIET_ASSIGN_OR_RETURN(geometry::Point p, layer.GetPoint(id));
+      return geometry::ToWkt(p);
+    }
+    case GeometryKind::kLine:
+    case GeometryKind::kPolyline: {
+      PIET_ASSIGN_OR_RETURN(const geometry::Polyline* line,
+                            layer.GetPolyline(id));
+      return geometry::ToWkt(*line);
+    }
+    case GeometryKind::kPolygon: {
+      PIET_ASSIGN_OR_RETURN(const geometry::Polygon* pg,
+                            layer.GetPolygon(id));
+      return geometry::ToWkt(*pg);
+    }
+    case GeometryKind::kAll:
+      break;
+  }
+  return Status::InvalidArgument("layer kind has no element WKT");
+}
+
+}  // namespace
+
+Status WriteLayer(const Layer& layer, std::ostream& out) {
+  out << kHeader << "\n";
+  out << "layer " << layer.name() << " "
+      << GeometryKindToString(layer.kind()) << "\n";
+  for (GeometryId id : layer.ids()) {
+    PIET_ASSIGN_OR_RETURN(std::string wkt, ElementWkt(layer, id));
+    out << "elem " << wkt;
+    PIET_ASSIGN_OR_RETURN(auto attrs, layer.AttributesOf(id));
+    for (const auto& [key, value] : attrs) {
+      PIET_ASSIGN_OR_RETURN(std::string serialized, SerializeValue(value));
+      out << "\t" << key << "=" << serialized;
+    }
+    out << "\n";
+  }
+  if (!out) {
+    return Status::IoError("failed writing layer '" + layer.name() + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Layer>> ReadLayer(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || Trim(line) != kHeader) {
+    return Status::ParseError("missing piet-layer header");
+  }
+  if (!std::getline(in, line)) {
+    return Status::ParseError("missing layer declaration");
+  }
+  std::istringstream decl(line);
+  std::string tag, name, kind_name;
+  decl >> tag >> name >> kind_name;
+  if (tag != "layer" || name.empty()) {
+    return Status::ParseError("bad layer declaration: " + line);
+  }
+  PIET_ASSIGN_OR_RETURN(GeometryKind kind, GeometryKindFromString(kind_name));
+  auto layer = std::make_shared<Layer>(name, kind);
+
+  size_t lineno = 2;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv.front() == '#') {
+      continue;
+    }
+    if (!StartsWith(sv, "elem ")) {
+      return Status::ParseError("line " + std::to_string(lineno) +
+                                ": expected 'elem'");
+    }
+    sv.remove_prefix(5);
+    // WKT runs to the first tab (or end of line).
+    std::vector<std::string> fields = Split(sv, '\t');
+    const std::string& wkt = fields[0];
+
+    GeometryId id = 0;
+    switch (kind) {
+      case GeometryKind::kPoint:
+      case GeometryKind::kNode: {
+        PIET_ASSIGN_OR_RETURN(geometry::Point p,
+                              geometry::PointFromWkt(wkt));
+        PIET_ASSIGN_OR_RETURN(id, layer->AddPoint(p));
+        break;
+      }
+      case GeometryKind::kLine:
+      case GeometryKind::kPolyline: {
+        PIET_ASSIGN_OR_RETURN(geometry::Polyline pl,
+                              geometry::PolylineFromWkt(wkt));
+        PIET_ASSIGN_OR_RETURN(id, layer->AddPolyline(std::move(pl)));
+        break;
+      }
+      case GeometryKind::kPolygon: {
+        PIET_ASSIGN_OR_RETURN(geometry::Polygon pg,
+                              geometry::PolygonFromWkt(wkt));
+        PIET_ASSIGN_OR_RETURN(id, layer->AddPolygon(std::move(pg)));
+        break;
+      }
+      case GeometryKind::kAll:
+        return Status::ParseError("layer of kind All cannot hold elements");
+    }
+
+    for (size_t f = 1; f < fields.size(); ++f) {
+      const std::string& field = fields[f];
+      size_t eq = field.find('=');
+      if (eq == std::string::npos) {
+        return Status::ParseError("line " + std::to_string(lineno) +
+                                  ": bad attribute '" + field + "'");
+      }
+      PIET_ASSIGN_OR_RETURN(Value value,
+                            DeserializeValue(field.substr(eq + 1)));
+      PIET_RETURN_NOT_OK(
+          layer->SetAttribute(id, field.substr(0, eq), std::move(value)));
+    }
+  }
+  return layer;
+}
+
+}  // namespace piet::gis

@@ -1,0 +1,29 @@
+#ifndef PIET_GIS_IO_H_
+#define PIET_GIS_IO_H_
+
+#include <iosfwd>
+#include <memory>
+
+#include "common/result.h"
+#include "gis/layer.h"
+
+namespace piet::gis {
+
+/// Text persistence for thematic layers: a line-oriented format with WKT
+/// geometries and typed attributes, round-trip safe. Format:
+///
+///   # piet-layer v1
+///   layer <name> <kind>
+///   elem <wkt> \t key=<t>:<value> \t ...
+///
+/// where <t> is i (int), d (double), s (string, backslash-escaped), or
+/// b (bool). Element ids are assigned in file order (they are dense in a
+/// Layer by construction).
+Status WriteLayer(const Layer& layer, std::ostream& out);
+
+/// Reads a layer written by WriteLayer.
+Result<std::shared_ptr<Layer>> ReadLayer(std::istream& in);
+
+}  // namespace piet::gis
+
+#endif  // PIET_GIS_IO_H_

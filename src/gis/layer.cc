@@ -1,0 +1,247 @@
+#include "gis/layer.h"
+
+#include "common/string_util.h"
+
+namespace piet::gis {
+
+using geometry::BoundingBox;
+using geometry::Point;
+using geometry::Polygon;
+using geometry::Polyline;
+
+std::string_view GeometryKindToString(GeometryKind kind) {
+  switch (kind) {
+    case GeometryKind::kPoint:
+      return "point";
+    case GeometryKind::kNode:
+      return "node";
+    case GeometryKind::kLine:
+      return "line";
+    case GeometryKind::kPolyline:
+      return "polyline";
+    case GeometryKind::kPolygon:
+      return "polygon";
+    case GeometryKind::kAll:
+      return "All";
+  }
+  return "unknown";
+}
+
+Result<GeometryKind> GeometryKindFromString(std::string_view name) {
+  if (EqualsIgnoreCase(name, "point")) {
+    return GeometryKind::kPoint;
+  }
+  if (EqualsIgnoreCase(name, "node")) {
+    return GeometryKind::kNode;
+  }
+  if (EqualsIgnoreCase(name, "line")) {
+    return GeometryKind::kLine;
+  }
+  if (EqualsIgnoreCase(name, "polyline")) {
+    return GeometryKind::kPolyline;
+  }
+  if (EqualsIgnoreCase(name, "polygon")) {
+    return GeometryKind::kPolygon;
+  }
+  if (EqualsIgnoreCase(name, "all")) {
+    return GeometryKind::kAll;
+  }
+  return Status::ParseError("unknown geometry kind '" + std::string(name) +
+                            "'");
+}
+
+Layer::Layer(std::string name, GeometryKind kind)
+    : name_(std::move(name)), kind_(kind) {}
+
+Result<GeometryId> Layer::AddPoint(Point p) {
+  if (kind_ != GeometryKind::kPoint && kind_ != GeometryKind::kNode) {
+    return Status::TypeError("layer '" + name_ + "' does not hold points");
+  }
+  GeometryId id = static_cast<GeometryId>(ids_.size());
+  ids_.push_back(id);
+  points_.push_back(p);
+  attributes_.emplace_back();
+  bounds_.ExtendWith(p);
+  rtree_.reset();
+  return id;
+}
+
+Result<GeometryId> Layer::AddPolyline(Polyline line) {
+  if (kind_ != GeometryKind::kLine && kind_ != GeometryKind::kPolyline) {
+    return Status::TypeError("layer '" + name_ + "' does not hold polylines");
+  }
+  GeometryId id = static_cast<GeometryId>(ids_.size());
+  ids_.push_back(id);
+  bounds_.ExtendWith(line.Bounds());
+  polylines_.push_back(std::move(line));
+  attributes_.emplace_back();
+  rtree_.reset();
+  return id;
+}
+
+Result<GeometryId> Layer::AddPolygon(Polygon polygon) {
+  if (kind_ != GeometryKind::kPolygon) {
+    return Status::TypeError("layer '" + name_ + "' does not hold polygons");
+  }
+  GeometryId id = static_cast<GeometryId>(ids_.size());
+  ids_.push_back(id);
+  bounds_.ExtendWith(polygon.Bounds());
+  polygons_.push_back(std::move(polygon));
+  attributes_.emplace_back();
+  rtree_.reset();
+  return id;
+}
+
+Result<Point> Layer::GetPoint(GeometryId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= points_.size()) {
+    return Status::NotFound("no point " + std::to_string(id) + " in layer '" +
+                            name_ + "'");
+  }
+  return points_[static_cast<size_t>(id)];
+}
+
+Result<const Polyline*> Layer::GetPolyline(GeometryId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= polylines_.size()) {
+    return Status::NotFound("no polyline " + std::to_string(id) +
+                            " in layer '" + name_ + "'");
+  }
+  return &polylines_[static_cast<size_t>(id)];
+}
+
+Result<const Polygon*> Layer::GetPolygon(GeometryId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= polygons_.size()) {
+    return Status::NotFound("no polygon " + std::to_string(id) +
+                            " in layer '" + name_ + "'");
+  }
+  return &polygons_[static_cast<size_t>(id)];
+}
+
+Status Layer::SetAttribute(GeometryId id, const std::string& attr,
+                           Value value) {
+  if (id < 0 || static_cast<size_t>(id) >= attributes_.size()) {
+    return Status::NotFound("no element " + std::to_string(id) +
+                            " in layer '" + name_ + "'");
+  }
+  attributes_[static_cast<size_t>(id)][attr] = std::move(value);
+  return Status::OK();
+}
+
+Result<Value> Layer::GetAttribute(GeometryId id, const std::string& attr) const {
+  if (id < 0 || static_cast<size_t>(id) >= attributes_.size()) {
+    return Status::NotFound("no element " + std::to_string(id) +
+                            " in layer '" + name_ + "'");
+  }
+  const auto& map = attributes_[static_cast<size_t>(id)];
+  auto it = map.find(attr);
+  if (it == map.end()) {
+    return Status::NotFound("element " + std::to_string(id) + " in layer '" +
+                            name_ + "' has no attribute '" + attr + "'");
+  }
+  return it->second;
+}
+
+Result<std::vector<std::pair<std::string, Value>>> Layer::AttributesOf(
+    GeometryId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= attributes_.size()) {
+    return Status::NotFound("no element " + std::to_string(id) +
+                            " in layer '" + name_ + "'");
+  }
+  std::vector<std::pair<std::string, Value>> out(
+      attributes_[static_cast<size_t>(id)].begin(),
+      attributes_[static_cast<size_t>(id)].end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+bool Layer::HasAttribute(GeometryId id, const std::string& attr) const {
+  if (id < 0 || static_cast<size_t>(id) >= attributes_.size()) {
+    return false;
+  }
+  return attributes_[static_cast<size_t>(id)].count(attr) > 0;
+}
+
+void Layer::EnsureIndex() const {
+  if (rtree_) {
+    return;
+  }
+  std::vector<index::RTree::Entry> entries;
+  entries.reserve(ids_.size());
+  for (GeometryId id : ids_) {
+    auto box = BoundsOf(id);
+    if (box.ok()) {
+      entries.push_back({box.ValueOrDie(), id});
+    }
+  }
+  rtree_ = std::make_unique<index::RTree>(
+      index::RTree::BulkLoad(std::move(entries)));
+}
+
+Result<BoundingBox> Layer::BoundsOf(GeometryId id) const {
+  switch (kind_) {
+    case GeometryKind::kPoint:
+    case GeometryKind::kNode: {
+      PIET_ASSIGN_OR_RETURN(Point p, GetPoint(id));
+      return BoundingBox(p.x, p.y, p.x, p.y);
+    }
+    case GeometryKind::kLine:
+    case GeometryKind::kPolyline: {
+      PIET_ASSIGN_OR_RETURN(const Polyline* line, GetPolyline(id));
+      return line->Bounds();
+    }
+    case GeometryKind::kPolygon: {
+      PIET_ASSIGN_OR_RETURN(const Polygon* polygon, GetPolygon(id));
+      return polygon->Bounds();
+    }
+    case GeometryKind::kAll:
+      break;
+  }
+  return Status::Internal("layer kind has no element bounds");
+}
+
+std::vector<GeometryId> Layer::GeometriesContaining(Point p) const {
+  EnsureIndex();
+  std::vector<GeometryId> out;
+  for (index::RTree::Id id : rtree_->SearchPoint(p)) {
+    switch (kind_) {
+      case GeometryKind::kPoint:
+      case GeometryKind::kNode:
+        if (points_[static_cast<size_t>(id)] == p) {
+          out.push_back(id);
+        }
+        break;
+      case GeometryKind::kLine:
+      case GeometryKind::kPolyline:
+        if (polylines_[static_cast<size_t>(id)].Contains(p)) {
+          out.push_back(id);
+        }
+        break;
+      case GeometryKind::kPolygon:
+        if (polygons_[static_cast<size_t>(id)].Contains(p)) {
+          out.push_back(id);
+        }
+        break;
+      case GeometryKind::kAll:
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<GeometryId> Layer::CandidatesInBox(const BoundingBox& box) const {
+  EnsureIndex();
+  return rtree_->Search(box);
+}
+
+double Layer::TotalMeasure() const {
+  double total = 0.0;
+  for (const Polygon& pg : polygons_) {
+    total += pg.Area();
+  }
+  for (const Polyline& pl : polylines_) {
+    total += pl.Length();
+  }
+  return total;
+}
+
+}  // namespace piet::gis

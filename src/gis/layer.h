@@ -1,0 +1,109 @@
+#ifndef PIET_GIS_LAYER_H_
+#define PIET_GIS_LAYER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "geometry/polygon.h"
+#include "geometry/polyline.h"
+#include "index/rtree.h"
+
+namespace piet::gis {
+
+/// Identifier of a geometric element within its layer (the paper's Gid).
+using GeometryId = int64_t;
+
+/// The geometry kinds of the paper's set G (Def. 1). `node` is a point-kind
+/// used for infrastructure (schools, stops); `line` a single segment kind
+/// that composes polylines.
+enum class GeometryKind {
+  kPoint = 0,
+  kNode,
+  kLine,
+  kPolyline,
+  kPolygon,
+  kAll,
+};
+
+std::string_view GeometryKindToString(GeometryKind kind);
+Result<GeometryKind> GeometryKindFromString(std::string_view name);
+
+/// A thematic layer: a named, homogeneous collection of geometric elements
+/// with per-element attributes. This realizes the *Geometric part* of the
+/// paper's GIS dimension for one layer — a finite set of identified
+/// geometries — together with the classical attribute information a theme
+/// carries.
+///
+/// The element kind is fixed per layer (the paper notes layers typically
+/// hold a single kind). Points and nodes are both stored as Point payloads;
+/// their kind tag differs for schema purposes.
+class Layer {
+ public:
+  Layer(std::string name, GeometryKind kind);
+
+  const std::string& name() const { return name_; }
+  GeometryKind kind() const { return kind_; }
+  size_t size() const { return ids_.size(); }
+  const std::vector<GeometryId>& ids() const { return ids_; }
+
+  /// Element insertion; the payload must match the layer kind
+  /// (kPoint/kNode take points, kLine/kPolyline take polylines, kPolygon
+  /// takes polygons). Returns the new element's id.
+  Result<GeometryId> AddPoint(geometry::Point p);
+  Result<GeometryId> AddPolyline(geometry::Polyline line);
+  Result<GeometryId> AddPolygon(geometry::Polygon polygon);
+
+  /// Element access.
+  Result<geometry::Point> GetPoint(GeometryId id) const;
+  Result<const geometry::Polyline*> GetPolyline(GeometryId id) const;
+  Result<const geometry::Polygon*> GetPolygon(GeometryId id) const;
+
+  /// Per-element attribute table.
+  Status SetAttribute(GeometryId id, const std::string& attr, Value value);
+  Result<Value> GetAttribute(GeometryId id, const std::string& attr) const;
+  bool HasAttribute(GeometryId id, const std::string& attr) const;
+
+  /// All attributes of an element, sorted by name (for serialization).
+  Result<std::vector<std::pair<std::string, Value>>> AttributesOf(
+      GeometryId id) const;
+
+  /// The computed algebraic rollup r^{Pt,G}_L: ids of elements containing
+  /// `p` (closed semantics — boundaries count; a point on a shared border
+  /// belongs to both polygons, as in the paper's Example 1).
+  std::vector<GeometryId> GeometriesContaining(geometry::Point p) const;
+
+  /// Ids of elements whose bounds intersect `box` (candidates).
+  std::vector<GeometryId> CandidatesInBox(const geometry::BoundingBox& box) const;
+
+  /// Bounds of an element.
+  Result<geometry::BoundingBox> BoundsOf(GeometryId id) const;
+
+  /// Union of element bounds.
+  geometry::BoundingBox Bounds() const { return bounds_; }
+
+  /// Total area (polygon layers) or length (line layers).
+  double TotalMeasure() const;
+
+ private:
+  void EnsureIndex() const;
+
+  std::string name_;
+  GeometryKind kind_;
+  std::vector<GeometryId> ids_;
+  std::vector<geometry::Point> points_;
+  std::vector<geometry::Polyline> polylines_;
+  std::vector<geometry::Polygon> polygons_;
+  std::vector<std::unordered_map<std::string, Value>> attributes_;
+  geometry::BoundingBox bounds_;
+  mutable std::unique_ptr<index::RTree> rtree_;  // Lazily built.
+};
+
+}  // namespace piet::gis
+
+#endif  // PIET_GIS_LAYER_H_

@@ -1,0 +1,269 @@
+#include "gis/overlay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/clip.h"
+
+namespace piet::gis {
+
+using geometry::BoundingBox;
+using geometry::MakeRectangle;
+using geometry::Point;
+using geometry::Polygon;
+using geometry::Ring;
+
+Result<OverlayDb> OverlayDb::BuildConvex(std::vector<const Layer*> layers) {
+  OverlayDb db;
+  db.layers_ = std::move(layers);
+  db.convex_exact_ = true;
+
+  BoundingBox domain;
+  for (const Layer* layer : db.layers_) {
+    if (layer == nullptr) {
+      return Status::InvalidArgument("null layer");
+    }
+    if (layer->kind() != GeometryKind::kPolygon) {
+      return Status::InvalidArgument("convex overlay needs polygon layers; '" +
+                                     layer->name() + "' is not one");
+    }
+    for (GeometryId id : layer->ids()) {
+      PIET_ASSIGN_OR_RETURN(const Polygon* pg, layer->GetPolygon(id));
+      if (!pg->IsConvex()) {
+        return Status::InvalidArgument(
+            "polygon " + std::to_string(id) + " of layer '" + layer->name() +
+            "' is not convex; use BuildQuadtree");
+      }
+    }
+    domain.ExtendWith(layer->Bounds());
+  }
+  if (db.layers_.empty() || domain.empty()) {
+    return Status::InvalidArgument("convex overlay needs at least one layer");
+  }
+
+  // Seed cells from the first layer's polygons.
+  const Layer* first = db.layers_[0];
+  for (GeometryId id : first->ids()) {
+    PIET_ASSIGN_OR_RETURN(const Polygon* pg, first->GetPolygon(id));
+    Cell cell;
+    cell.polygon = *pg;
+    cell.covered.push_back({0, id});
+    db.cells_.push_back(std::move(cell));
+  }
+
+  // Refine against each subsequent layer. Each layer must tile the current
+  // cells (partition semantics); the area check below enforces it.
+  for (size_t li = 1; li < db.layers_.size(); ++li) {
+    const Layer* layer = db.layers_[li];
+    std::vector<Cell> next;
+    for (Cell& cell : db.cells_) {
+      double cell_area = cell.polygon.Area();
+      double covered_area = 0.0;
+      for (GeometryId id : layer->CandidatesInBox(cell.polygon.Bounds())) {
+        PIET_ASSIGN_OR_RETURN(const Polygon* pg, layer->GetPolygon(id));
+        std::optional<Ring> piece =
+            geometry::ClipRingToConvex(cell.polygon.shell(), pg->shell());
+        if (!piece) {
+          continue;
+        }
+        Cell sub;
+        sub.polygon = Polygon(std::move(*piece));
+        covered_area += sub.polygon.Area();
+        sub.covered = cell.covered;
+        sub.covered.push_back({li, id});
+        next.push_back(std::move(sub));
+      }
+      if (covered_area < cell_area * (1.0 - 1e-6)) {
+        return Status::InvalidArgument(
+            "layer '" + layer->name() +
+            "' does not tile an overlay cell (partition layers required); "
+            "use BuildQuadtree");
+      }
+    }
+    db.cells_ = std::move(next);
+  }
+
+  db.BuildCellIndex();
+  return db;
+}
+
+Result<OverlayDb> OverlayDb::BuildQuadtree(std::vector<const Layer*> layers,
+                                           int max_depth) {
+  OverlayDb db;
+  db.layers_ = std::move(layers);
+  db.convex_exact_ = false;
+
+  BoundingBox domain;
+  for (const Layer* layer : db.layers_) {
+    if (layer == nullptr) {
+      return Status::InvalidArgument("null layer");
+    }
+    if (layer->kind() != GeometryKind::kPolygon) {
+      return Status::InvalidArgument("overlay needs polygon layers; '" +
+                                     layer->name() + "' is not one");
+    }
+    domain.ExtendWith(layer->Bounds());
+  }
+  if (db.layers_.empty() || domain.empty()) {
+    return Status::InvalidArgument("overlay needs at least one layer");
+  }
+
+  struct Work {
+    BoundingBox box;
+    std::vector<OverlayLabel> covered;
+    std::vector<OverlayLabel> candidates;
+    int depth;
+  };
+
+  Work root;
+  root.box = domain;
+  root.depth = 0;
+  for (size_t li = 0; li < db.layers_.size(); ++li) {
+    for (GeometryId id : db.layers_[li]->ids()) {
+      root.candidates.push_back({li, id});
+    }
+  }
+
+  std::vector<Work> stack = {std::move(root)};
+  while (!stack.empty()) {
+    Work w = std::move(stack.back());
+    stack.pop_back();
+
+    Polygon rect =
+        MakeRectangle(w.box.min_x, w.box.min_y, w.box.max_x, w.box.max_y);
+
+    std::vector<OverlayLabel> still;
+    for (const OverlayLabel& cand : w.candidates) {
+      auto pg = db.layers_[cand.layer]->GetPolygon(cand.geom);
+      if (!pg.ok()) {
+        continue;
+      }
+      const Polygon& poly = *pg.ValueOrDie();
+      if (!poly.Bounds().Intersects(w.box)) {
+        continue;
+      }
+      if (poly.ContainsPolygon(rect)) {
+        w.covered.push_back(cand);
+      } else if (poly.Intersects(rect)) {
+        still.push_back(cand);
+      }
+    }
+    w.candidates = std::move(still);
+
+    if (!w.candidates.empty() && w.depth < max_depth) {
+      double mx = (w.box.min_x + w.box.max_x) / 2.0;
+      double my = (w.box.min_y + w.box.max_y) / 2.0;
+      BoundingBox quads[4] = {
+          BoundingBox(w.box.min_x, w.box.min_y, mx, my),
+          BoundingBox(mx, w.box.min_y, w.box.max_x, my),
+          BoundingBox(w.box.min_x, my, mx, w.box.max_y),
+          BoundingBox(mx, my, w.box.max_x, w.box.max_y),
+      };
+      for (const BoundingBox& q : quads) {
+        Work child;
+        child.box = q;
+        child.covered = w.covered;
+        child.candidates = w.candidates;
+        child.depth = w.depth + 1;
+        stack.push_back(std::move(child));
+      }
+      continue;
+    }
+
+    Cell cell;
+    cell.polygon =
+        MakeRectangle(w.box.min_x, w.box.min_y, w.box.max_x, w.box.max_y);
+    cell.covered = std::move(w.covered);
+    cell.candidates = std::move(w.candidates);
+    db.cells_.push_back(std::move(cell));
+  }
+
+  db.BuildCellIndex();
+  return db;
+}
+
+void OverlayDb::BuildCellIndex() {
+  BoundingBox domain;
+  for (const Cell& cell : cells_) {
+    domain.ExtendWith(cell.polygon.Bounds());
+  }
+  size_t n = static_cast<size_t>(
+      std::max(1.0, std::sqrt(static_cast<double>(cells_.size()))));
+  cell_index_ = std::make_unique<index::GridIndex>(domain, n);
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    cell_index_->Insert(cells_[i].polygon.Bounds(),
+                        static_cast<index::GridIndex::Id>(i));
+  }
+}
+
+OverlayHit OverlayDb::Locate(Point p) const {
+  OverlayHit hit;
+  hit.per_layer.resize(layers_.size());
+  if (!cell_index_) {
+    return hit;
+  }
+  std::vector<OverlayLabel> labels;
+  for (index::GridIndex::Id raw : cell_index_->SearchPoint(p)) {
+    const Cell& cell = cells_[static_cast<size_t>(raw)];
+    if (!cell.polygon.Contains(p)) {
+      continue;
+    }
+    for (const OverlayLabel& label : cell.covered) {
+      labels.push_back(label);
+    }
+    for (const OverlayLabel& cand : cell.candidates) {
+      auto pg = layers_[cand.layer]->GetPolygon(cand.geom);
+      if (pg.ok() && pg.ValueOrDie()->Contains(p)) {
+        labels.push_back(cand);
+      }
+    }
+  }
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  for (const OverlayLabel& label : labels) {
+    hit.per_layer[label.layer].push_back(label.geom);
+  }
+  return hit;
+}
+
+std::vector<GeometryId> OverlayDb::LocateInLayer(Point p, size_t layer) const {
+  std::vector<GeometryId> out;
+  LocateInLayerInto(p, layer, &out);
+  return out;
+}
+
+void OverlayDb::LocateInLayerInto(Point p, size_t layer,
+                                  std::vector<GeometryId>* out) const {
+  out->clear();
+  if (!cell_index_ || layer >= layers_.size()) {
+    return;
+  }
+  cell_index_->VisitPoint(p, [&](index::GridIndex::Id raw) {
+    const Cell& cell = cells_[static_cast<size_t>(raw)];
+    if (!cell.polygon.Contains(p)) {
+      return;
+    }
+    for (const OverlayLabel& label : cell.covered) {
+      if (label.layer == layer) {
+        out->push_back(label.geom);
+      }
+    }
+    for (const OverlayLabel& cand : cell.candidates) {
+      if (cand.layer != layer) {
+        continue;
+      }
+      auto pg = layers_[cand.layer]->GetPolygon(cand.geom);
+      if (pg.ok() && pg.ValueOrDie()->Contains(p)) {
+        out->push_back(cand.geom);
+      }
+    }
+  });
+  // A point on a shared cell border is reported by every adjacent cell;
+  // dedup only when more than one id was collected (the common case is 1).
+  if (out->size() > 1) {
+    std::sort(out->begin(), out->end());
+    out->erase(std::unique(out->begin(), out->end()), out->end());
+  }
+}
+
+}  // namespace piet::gis

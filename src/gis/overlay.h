@@ -1,0 +1,106 @@
+#ifndef PIET_GIS_OVERLAY_H_
+#define PIET_GIS_OVERLAY_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "gis/layer.h"
+#include "index/grid.h"
+
+namespace piet::gis {
+
+/// One label of an overlay cell: "this cell lies inside geometry `geom` of
+/// layer index `layer`".
+struct OverlayLabel {
+  size_t layer = 0;
+  GeometryId geom = 0;
+
+  friend bool operator==(const OverlayLabel& a, const OverlayLabel& b) {
+    return a.layer == b.layer && a.geom == b.geom;
+  }
+  friend bool operator<(const OverlayLabel& a, const OverlayLabel& b) {
+    if (a.layer != b.layer) {
+      return a.layer < b.layer;
+    }
+    return a.geom < b.geom;
+  }
+};
+
+/// Point-location answer: per queried layer, the ids containing the point.
+struct OverlayHit {
+  std::vector<std::vector<GeometryId>> per_layer;
+};
+
+/// The Piet overlay precomputation of Sec. 5: a subdivision of the plane
+/// into *subpolygons* (cells), each labeled with every layer geometry that
+/// fully covers it. Point location against the overlay then answers, in one
+/// lookup, "which neighborhood / city / district is this sample in" for all
+/// layers at once — the paper's strategy for amortizing geometric work
+/// across many aggregate queries.
+///
+/// Two construction strategies, one interface:
+///  * BuildConvex — exact sub-polygonization by iterated convex clipping.
+///    Requires every polygon of every layer to be convex. Cells are the
+///    nonempty intersections of one polygon per (subset of) layers.
+///  * BuildQuadtree — adaptive quadtree for arbitrary simple polygons.
+///    Leaves are refined until homogeneous w.r.t. every polygon or the
+///    depth cap; heterogeneous leaves keep candidate lists and resolve by
+///    exact point-in-polygon at query time (always exact answers; the tree
+///    only prunes candidates).
+class OverlayDb {
+ public:
+  /// Builds the exact convex overlay. Fails if a polygon is non-convex or a
+  /// layer is not a polygon layer. Layers must outlive the OverlayDb.
+  static Result<OverlayDb> BuildConvex(std::vector<const Layer*> layers);
+
+  /// Builds the adaptive quadtree overlay (works for any simple polygons).
+  static Result<OverlayDb> BuildQuadtree(std::vector<const Layer*> layers,
+                                         int max_depth = 10);
+
+  /// For point `p`, the containing geometry ids for every layer (index
+  /// aligned with the layer list given at construction).
+  OverlayHit Locate(geometry::Point p) const;
+
+  /// Convenience: containing ids for one layer index.
+  std::vector<GeometryId> LocateInLayer(geometry::Point p, size_t layer) const;
+
+  /// Allocation-free single-layer point location: appends the containing
+  /// ids of `layer` to `out` (cleared first). The hot path of the Sec. 5
+  /// strategy — one grid probe plus exact tests on the few candidate
+  /// cells.
+  void LocateInLayerInto(geometry::Point p, size_t layer,
+                         std::vector<GeometryId>* out) const;
+
+  size_t num_layers() const { return layers_.size(); }
+  /// Number of overlay cells (convex) or leaves (quadtree).
+  size_t num_cells() const { return cells_.size(); }
+  /// Total time spent is dominated by construction; expose the strategy.
+  bool is_convex_exact() const { return convex_exact_; }
+
+ private:
+  /// A subpolygon: cell geometry plus covering labels. In quadtree mode the
+  /// cell is a rectangle and `candidates` holds the boundary-crossing
+  /// polygons needing exact tests.
+  struct Cell {
+    geometry::Polygon polygon;
+    std::vector<OverlayLabel> covered;     // Definitely covering labels.
+    std::vector<OverlayLabel> candidates;  // Need exact test at query time.
+  };
+
+  OverlayDb() = default;
+
+  void BuildCellIndex();
+
+  std::vector<const Layer*> layers_;
+  std::vector<Cell> cells_;
+  std::unique_ptr<index::GridIndex> cell_index_;
+  bool convex_exact_ = false;
+};
+
+}  // namespace piet::gis
+
+#endif  // PIET_GIS_OVERLAY_H_

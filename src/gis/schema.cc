@@ -1,0 +1,216 @@
+#include "gis/schema.h"
+
+#include <algorithm>
+
+namespace piet::gis {
+
+GeometryGraph::GeometryGraph() {
+  nodes_.push_back(GeometryKind::kPoint);
+  nodes_.push_back(GeometryKind::kAll);
+}
+
+Status GeometryGraph::AddEdge(GeometryKind fine, GeometryKind coarse) {
+  if (fine == coarse) {
+    return Status::InvalidArgument("self-loop in geometry graph");
+  }
+  if (coarse == GeometryKind::kPoint) {
+    return Status::InvalidArgument("point must have no incoming edges");
+  }
+  if (fine == GeometryKind::kAll) {
+    return Status::InvalidArgument("All must have no outgoing edges");
+  }
+  if (RollsUp(coarse, fine)) {
+    return Status::InvalidArgument("geometry graph edge would create a cycle");
+  }
+  for (GeometryKind k : {fine, coarse}) {
+    if (!HasNode(k)) {
+      nodes_.push_back(k);
+    }
+  }
+  if (std::find(edges_.begin(), edges_.end(), std::make_pair(fine, coarse)) ==
+      edges_.end()) {
+    edges_.emplace_back(fine, coarse);
+  }
+  return Status::OK();
+}
+
+bool GeometryGraph::HasNode(GeometryKind kind) const {
+  return std::find(nodes_.begin(), nodes_.end(), kind) != nodes_.end();
+}
+
+std::vector<GeometryKind> GeometryGraph::ParentsOf(GeometryKind kind) const {
+  std::vector<GeometryKind> out;
+  for (const auto& [fine, coarse] : edges_) {
+    if (fine == kind) {
+      out.push_back(coarse);
+    }
+  }
+  return out;
+}
+
+bool GeometryGraph::RollsUp(GeometryKind fine, GeometryKind coarse) const {
+  if (fine == coarse) {
+    return true;
+  }
+  std::vector<GeometryKind> frontier = {fine};
+  std::vector<GeometryKind> seen = {fine};
+  while (!frontier.empty()) {
+    GeometryKind cur = frontier.back();
+    frontier.pop_back();
+    for (GeometryKind up : ParentsOf(cur)) {
+      if (up == coarse) {
+        return true;
+      }
+      if (std::find(seen.begin(), seen.end(), up) == seen.end()) {
+        seen.push_back(up);
+        frontier.push_back(up);
+      }
+    }
+  }
+  return false;
+}
+
+Status GeometryGraph::Validate() const {
+  for (const auto& [fine, coarse] : edges_) {
+    if (coarse == GeometryKind::kPoint) {
+      return Status::InvalidArgument("point has an incoming edge");
+    }
+    if (fine == GeometryKind::kAll) {
+      return Status::InvalidArgument("All has an outgoing edge");
+    }
+  }
+  for (GeometryKind node : nodes_) {
+    if (node == GeometryKind::kAll) {
+      continue;
+    }
+    if (!RollsUp(node, GeometryKind::kAll)) {
+      return Status::InvalidArgument(
+          std::string("geometry kind '") +
+          std::string(GeometryKindToString(node)) + "' does not reach All");
+    }
+    if (node != GeometryKind::kPoint &&
+        !RollsUp(GeometryKind::kPoint, node)) {
+      return Status::InvalidArgument(
+          std::string("geometry kind '") +
+          std::string(GeometryKindToString(node)) +
+          "' is not reachable from point");
+    }
+  }
+  return Status::OK();
+}
+
+GeometryGraph GeometryGraph::PolygonLayerGraph() {
+  GeometryGraph g;
+  (void)g.AddEdge(GeometryKind::kPoint, GeometryKind::kPolygon);
+  (void)g.AddEdge(GeometryKind::kPolygon, GeometryKind::kAll);
+  return g;
+}
+
+GeometryGraph GeometryGraph::PolylineLayerGraph() {
+  GeometryGraph g;
+  (void)g.AddEdge(GeometryKind::kPoint, GeometryKind::kLine);
+  (void)g.AddEdge(GeometryKind::kLine, GeometryKind::kPolyline);
+  (void)g.AddEdge(GeometryKind::kPolyline, GeometryKind::kAll);
+  return g;
+}
+
+GeometryGraph GeometryGraph::NodeLayerGraph() {
+  GeometryGraph g;
+  (void)g.AddEdge(GeometryKind::kPoint, GeometryKind::kNode);
+  (void)g.AddEdge(GeometryKind::kNode, GeometryKind::kAll);
+  return g;
+}
+
+Status GisDimensionSchema::AddLayerGraph(const std::string& layer,
+                                         GeometryGraph graph) {
+  if (graphs_.count(layer)) {
+    return Status::AlreadyExists("layer graph '" + layer + "' already added");
+  }
+  graphs_.emplace(layer, std::move(graph));
+  return Status::OK();
+}
+
+Status GisDimensionSchema::AddAttribute(const std::string& attribute,
+                                        GeometryKind kind,
+                                        const std::string& layer) {
+  for (const AttributeBinding& b : attributes_) {
+    if (b.attribute == attribute) {
+      return Status::AlreadyExists("attribute '" + attribute +
+                                   "' already bound");
+    }
+  }
+  attributes_.push_back({attribute, kind, layer});
+  return Status::OK();
+}
+
+Status GisDimensionSchema::AddApplicationDimension(
+    olap::DimensionSchema dimension) {
+  for (const auto& d : app_dimensions_) {
+    if (d.name() == dimension.name()) {
+      return Status::AlreadyExists("application dimension '" + d.name() +
+                                   "' already added");
+    }
+  }
+  app_dimensions_.push_back(std::move(dimension));
+  return Status::OK();
+}
+
+Result<const GeometryGraph*> GisDimensionSchema::GraphOf(
+    const std::string& layer) const {
+  auto it = graphs_.find(layer);
+  if (it == graphs_.end()) {
+    return Status::NotFound("no layer graph '" + layer + "'");
+  }
+  return &it->second;
+}
+
+Result<AttributeBinding> GisDimensionSchema::AttOf(
+    const std::string& attribute) const {
+  for (const AttributeBinding& b : attributes_) {
+    if (b.attribute == attribute) {
+      return b;
+    }
+  }
+  return Status::NotFound("no attribute binding '" + attribute + "'");
+}
+
+Result<const olap::DimensionSchema*> GisDimensionSchema::ApplicationDimension(
+    const std::string& name) const {
+  for (const auto& d : app_dimensions_) {
+    if (d.name() == name) {
+      return &d;
+    }
+  }
+  return Status::NotFound("no application dimension '" + name + "'");
+}
+
+std::vector<std::string> GisDimensionSchema::LayerNames() const {
+  std::vector<std::string> out;
+  out.reserve(graphs_.size());
+  for (const auto& [name, graph] : graphs_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+Status GisDimensionSchema::Validate() const {
+  for (const auto& [name, graph] : graphs_) {
+    PIET_RETURN_NOT_OK(graph.Validate().WithContext("layer '" + name + "'"));
+  }
+  for (const AttributeBinding& b : attributes_) {
+    PIET_ASSIGN_OR_RETURN(const GeometryGraph* graph, GraphOf(b.layer));
+    if (!graph->HasNode(b.kind)) {
+      return Status::InvalidArgument(
+          "attribute '" + b.attribute + "' binds to kind '" +
+          std::string(GeometryKindToString(b.kind)) +
+          "' absent from layer '" + b.layer + "'");
+    }
+  }
+  for (const auto& d : app_dimensions_) {
+    PIET_RETURN_NOT_OK(
+        d.Validate().WithContext("application dimension '" + d.name() + "'"));
+  }
+  return Status::OK();
+}
+
+}  // namespace piet::gis

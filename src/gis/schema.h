@@ -1,0 +1,94 @@
+#ifndef PIET_GIS_SCHEMA_H_
+#define PIET_GIS_SCHEMA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "gis/layer.h"
+#include "olap/dimension.h"
+
+namespace piet::gis {
+
+/// The geometry-granularity graph H(L) of Def. 1: nodes are geometry kinds
+/// present in the layer, edges (Gi -> Gj) mean Gj is composed of Gi
+/// geometries. `point` is the unique source, `All` the unique sink.
+class GeometryGraph {
+ public:
+  GeometryGraph();
+
+  /// Adds an edge fine -> coarse (both nodes added implicitly).
+  Status AddEdge(GeometryKind fine, GeometryKind coarse);
+
+  bool HasNode(GeometryKind kind) const;
+  std::vector<GeometryKind> ParentsOf(GeometryKind kind) const;
+
+  /// True if `coarse` is reachable from `fine` (reflexive).
+  bool RollsUp(GeometryKind fine, GeometryKind coarse) const;
+
+  /// Validates Def. 1 (c)-(d): `point` has no incoming edges, `All` no
+  /// outgoing edges, every node reaches All from point.
+  Status Validate() const;
+
+  const std::vector<std::pair<GeometryKind, GeometryKind>>& edges() const {
+    return edges_;
+  }
+
+  /// The canonical polygon-layer graph: point -> polygon -> All.
+  static GeometryGraph PolygonLayerGraph();
+  /// The canonical polyline-layer graph: point -> line -> polyline -> All.
+  static GeometryGraph PolylineLayerGraph();
+  /// The canonical node-layer graph: point -> node -> All.
+  static GeometryGraph NodeLayerGraph();
+
+ private:
+  std::vector<GeometryKind> nodes_;
+  std::vector<std::pair<GeometryKind, GeometryKind>> edges_;
+};
+
+/// Where an application attribute attaches: Att(A) = (G, L) of Def. 1.
+struct AttributeBinding {
+  std::string attribute;   ///< e.g. "neighborhood"
+  GeometryKind kind;       ///< e.g. kPolygon
+  std::string layer;       ///< e.g. "Ln"
+};
+
+/// The GIS dimension schema Gsch = (H, A, D) of Def. 1: per-layer geometry
+/// graphs, attribute bindings, and application dimension schemas.
+class GisDimensionSchema {
+ public:
+  GisDimensionSchema() = default;
+
+  Status AddLayerGraph(const std::string& layer, GeometryGraph graph);
+  Status AddAttribute(const std::string& attribute, GeometryKind kind,
+                      const std::string& layer);
+  Status AddApplicationDimension(olap::DimensionSchema dimension);
+
+  Result<const GeometryGraph*> GraphOf(const std::string& layer) const;
+  Result<AttributeBinding> AttOf(const std::string& attribute) const;
+  Result<const olap::DimensionSchema*> ApplicationDimension(
+      const std::string& name) const;
+
+  std::vector<std::string> LayerNames() const;
+  const std::vector<AttributeBinding>& attributes() const {
+    return attributes_;
+  }
+  const std::vector<olap::DimensionSchema>& application_dimensions() const {
+    return app_dimensions_;
+  }
+
+  /// Validates every layer graph and application dimension schema, and that
+  /// each attribute binds to a kind present in its layer's graph.
+  Status Validate() const;
+
+ private:
+  std::map<std::string, GeometryGraph> graphs_;
+  std::vector<AttributeBinding> attributes_;
+  std::vector<olap::DimensionSchema> app_dimensions_;
+};
+
+}  // namespace piet::gis
+
+#endif  // PIET_GIS_SCHEMA_H_

@@ -1,0 +1,210 @@
+#include "index/agg_rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace piet::index {
+
+using geometry::BoundingBox;
+
+AggregateRTree::AggregateRTree(
+    std::vector<std::pair<RegionId, BoundingBox>> regions, double bucket_width,
+    size_t max_entries)
+    : bucket_width_(bucket_width > 0 ? bucket_width : 1.0) {
+  size_t cap = std::max<size_t>(4, max_entries);
+
+  leaves_.reserve(regions.size());
+  for (const auto& [id, box] : regions) {
+    Leaf leaf;
+    leaf.id = id;
+    leaf.box = box;
+    region_slot_[id] = leaves_.size();
+    leaves_.push_back(std::move(leaf));
+  }
+
+  // STR packing of leaf slots into leaf nodes.
+  std::vector<size_t> order(leaves_.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return leaves_[a].box.Center().x < leaves_[b].box.Center().x;
+  });
+  size_t leaf_node_count = order.empty() ? 1 : (order.size() + cap - 1) / cap;
+  size_t slab_count = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(leaf_node_count))));
+  size_t slab_size = std::max<size_t>(1, slab_count * cap);
+  for (size_t s = 0; s < order.size(); s += slab_size) {
+    size_t end = std::min(order.size(), s + slab_size);
+    std::sort(order.begin() + s, order.begin() + end,
+              [this](size_t a, size_t b) {
+                return leaves_[a].box.Center().y < leaves_[b].box.Center().y;
+              });
+  }
+
+  // Build leaf-level nodes.
+  std::vector<size_t> level;  // Node indices of the current level.
+  for (size_t i = 0; i < order.size(); i += cap) {
+    Node node;
+    node.is_leaf = true;
+    size_t end = std::min(order.size(), i + cap);
+    for (size_t j = i; j < end; ++j) {
+      node.leaf_slots.push_back(order[j]);
+      node.box.ExtendWith(leaves_[order[j]].box);
+    }
+    nodes_.push_back(std::move(node));
+    level.push_back(nodes_.size() - 1);
+  }
+  if (level.empty()) {
+    nodes_.push_back(Node{});
+    level.push_back(0);
+  }
+
+  // Pack internal levels.
+  while (level.size() > 1) {
+    std::vector<size_t> next;
+    for (size_t i = 0; i < level.size(); i += cap) {
+      Node node;
+      node.is_leaf = false;
+      size_t end = std::min(level.size(), i + cap);
+      for (size_t j = i; j < end; ++j) {
+        node.child_nodes.push_back(level[j]);
+        node.box.ExtendWith(nodes_[level[j]].box);
+      }
+      nodes_.push_back(std::move(node));
+      next.push_back(nodes_.size() - 1);
+    }
+    level = std::move(next);
+  }
+
+  // Move the root to index 0 for a fixed entry point.
+  size_t root = level.front();
+  if (root != 0) {
+    std::swap(nodes_[0], nodes_[root]);
+    // Fix child references to the swapped pair.
+    for (Node& n : nodes_) {
+      for (size_t& c : n.child_nodes) {
+        if (c == 0) {
+          c = root;
+        } else if (c == root) {
+          c = 0;
+        }
+      }
+    }
+  }
+
+  // Record root->parent-node paths per leaf slot for propagation.
+  leaf_paths_.assign(leaves_.size(), {});
+  std::vector<size_t> path;
+  // DFS from root.
+  struct Frame {
+    size_t node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack = {{0, 0}};
+  path.push_back(0);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    Node& n = nodes_[f.node];
+    if (n.is_leaf) {
+      for (size_t slot : n.leaf_slots) {
+        leaf_paths_[slot] = path;
+        leaves_[slot].parent = f.node;
+      }
+      stack.pop_back();
+      path.pop_back();
+      continue;
+    }
+    if (f.next_child >= n.child_nodes.size()) {
+      stack.pop_back();
+      path.pop_back();
+      continue;
+    }
+    size_t child = n.child_nodes[f.next_child++];
+    stack.push_back({child, 0});
+    path.push_back(child);
+  }
+}
+
+Status AggregateRTree::AddObservation(RegionId region, temporal::TimePoint t,
+                                      double count) {
+  auto it = region_slot_.find(region);
+  if (it == region_slot_.end()) {
+    return Status::NotFound("unknown region id " + std::to_string(region));
+  }
+  int64_t bucket = BucketOf(t);
+  leaves_[it->second].buckets[bucket] += count;
+  for (size_t node_idx : leaf_paths_[it->second]) {
+    nodes_[node_idx].buckets[bucket] += count;
+  }
+  return Status::OK();
+}
+
+double AggregateRTree::SumBuckets(const std::map<int64_t, double>& buckets,
+                                  int64_t b0, int64_t b1) {
+  double total = 0.0;
+  for (auto it = buckets.lower_bound(b0); it != buckets.end() && it->first <= b1;
+       ++it) {
+    total += it->second;
+  }
+  return total;
+}
+
+double AggregateRTree::Count(const BoundingBox& window,
+                             const temporal::Interval& interval) const {
+  int64_t b0 = BucketOf(interval.begin);
+  int64_t b1 = BucketOf(interval.end);
+  // A query ending exactly on a bucket boundary should not include the
+  // following bucket.
+  if (interval.end.seconds == std::floor(interval.end.seconds / bucket_width_) *
+                                  bucket_width_ &&
+      b1 > b0) {
+    --b1;
+  }
+  last_nodes_visited_ = 0;
+  double total = 0.0;
+  std::vector<size_t> stack = {0};
+  while (!stack.empty()) {
+    size_t idx = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[idx];
+    ++last_nodes_visited_;
+    if (!node.box.Intersects(window)) {
+      continue;
+    }
+    if (window.Contains(node.box)) {
+      total += SumBuckets(node.buckets, b0, b1);  // Pre-aggregated fast path.
+      continue;
+    }
+    if (node.is_leaf) {
+      for (size_t slot : node.leaf_slots) {
+        if (leaves_[slot].box.Intersects(window)) {
+          total += SumBuckets(leaves_[slot].buckets, b0, b1);
+        }
+      }
+    } else {
+      for (size_t child : node.child_nodes) {
+        stack.push_back(child);
+      }
+    }
+  }
+  return total;
+}
+
+Result<double> AggregateRTree::CountRegion(
+    RegionId region, const temporal::Interval& interval) const {
+  auto it = region_slot_.find(region);
+  if (it == region_slot_.end()) {
+    return Status::NotFound("unknown region id " + std::to_string(region));
+  }
+  int64_t b0 = BucketOf(interval.begin);
+  int64_t b1 = BucketOf(interval.end);
+  if (interval.end.seconds == std::floor(interval.end.seconds / bucket_width_) *
+                                  bucket_width_ &&
+      b1 > b0) {
+    --b1;
+  }
+  return SumBuckets(leaves_[it->second].buckets, b0, b1);
+}
+
+}  // namespace piet::index

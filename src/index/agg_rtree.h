@@ -1,0 +1,94 @@
+#ifndef PIET_INDEX_AGG_RTREE_H_
+#define PIET_INDEX_AGG_RTREE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/box.h"
+#include "temporal/interval.h"
+
+namespace piet::index {
+
+/// An aggregate R-tree in the spirit of Papadias et al.'s aRB-tree (the
+/// paper's cited approach for historical aggregate information about moving
+/// objects, Sec. 2): a spatial tree over fixed regions where every node
+/// stores pre-aggregated per-time-bucket counts of the observations beneath
+/// it. COUNT(window, interval) queries then read pre-aggregated sums from
+/// internal nodes whose box is fully contained in the window, instead of
+/// scanning raw observations.
+///
+/// Time is discretized into buckets of `bucket_width` seconds. Queries are
+/// exact when their interval aligns with bucket boundaries; otherwise the
+/// result counts every bucket the interval overlaps (the classic
+/// pre-aggregation granularity trade-off, benchmarked in E5).
+class AggregateRTree {
+ public:
+  using RegionId = int64_t;
+
+  /// `regions` fixes the indexed region set (id + box). The tree is packed
+  /// by STR once at construction.
+  AggregateRTree(std::vector<std::pair<RegionId, geometry::BoundingBox>> regions,
+                 double bucket_width, size_t max_entries = 16);
+
+  /// Adds `count` observations for `region` at instant `t`. Unknown region
+  /// ids are reported.
+  Status AddObservation(RegionId region, temporal::TimePoint t,
+                        double count = 1.0);
+
+  /// Total observation count within regions whose *box* intersects `window`
+  /// during `interval` (bucket-granular). Pure index read; cost is
+  /// proportional to the number of visited nodes, not observations.
+  double Count(const geometry::BoundingBox& window,
+               const temporal::Interval& interval) const;
+
+  /// Count for one region id over `interval`.
+  Result<double> CountRegion(RegionId region,
+                             const temporal::Interval& interval) const;
+
+  double bucket_width() const { return bucket_width_; }
+  size_t num_regions() const { return leaves_.size(); }
+
+  /// Nodes touched by the last Count() call; benchmark instrumentation.
+  size_t last_nodes_visited() const { return last_nodes_visited_; }
+
+ private:
+  struct Node {
+    geometry::BoundingBox box;
+    bool is_leaf = false;
+    std::vector<size_t> child_nodes;   // Indices into nodes_ (internal).
+    std::vector<size_t> leaf_slots;    // Indices into leaves_ (leaf).
+    // bucket index -> aggregated count under this node.
+    std::map<int64_t, double> buckets;
+  };
+
+  struct Leaf {
+    RegionId id;
+    geometry::BoundingBox box;
+    std::map<int64_t, double> buckets;
+    size_t parent = 0;  // Node index owning this leaf slot.
+  };
+
+  int64_t BucketOf(temporal::TimePoint t) const {
+    return static_cast<int64_t>(std::floor(t.seconds / bucket_width_));
+  }
+
+  /// Sums a node's buckets over the bucket range [b0, b1].
+  static double SumBuckets(const std::map<int64_t, double>& buckets,
+                           int64_t b0, int64_t b1);
+
+  std::vector<Node> nodes_;   // nodes_[0] is the root.
+  std::vector<Leaf> leaves_;
+  std::map<RegionId, size_t> region_slot_;
+  // Path (node indices root->leaf-parent) for each leaf slot, for upward
+  // propagation of observations.
+  std::vector<std::vector<size_t>> leaf_paths_;
+  double bucket_width_;
+  mutable size_t last_nodes_visited_ = 0;
+};
+
+}  // namespace piet::index
+
+#endif  // PIET_INDEX_AGG_RTREE_H_

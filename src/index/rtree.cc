@@ -1,0 +1,390 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace piet::index {
+
+using geometry::BoundingBox;
+using geometry::Point;
+
+RTree::RTree(size_t max_entries)
+    : max_entries_(std::max<size_t>(4, max_entries)),
+      min_entries_(std::max<size_t>(2, max_entries_ / 2)),
+      root_(std::make_unique<Node>()) {}
+
+BoundingBox RTree::NodeBounds(const Node& node) {
+  BoundingBox box;
+  if (node.is_leaf) {
+    for (const Entry& e : node.entries) {
+      box.ExtendWith(e.box);
+    }
+  } else {
+    for (const auto& child : node.children) {
+      box.ExtendWith(child->box);
+    }
+  }
+  return box;
+}
+
+RTree RTree::BulkLoad(std::vector<Entry> entries, size_t max_entries) {
+  RTree tree(max_entries);
+  tree.size_ = entries.size();
+  if (entries.empty()) {
+    return tree;
+  }
+
+  size_t cap = tree.max_entries_;
+
+  // STR: sort by center-x into vertical slabs, then by center-y within.
+  size_t leaf_count = (entries.size() + cap - 1) / cap;
+  size_t slab_count =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(leaf_count))));
+  size_t slab_size = slab_count * cap;
+
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.box.Center().x < b.box.Center().x;
+  });
+
+  std::vector<std::unique_ptr<Node>> level;
+  for (size_t s = 0; s < entries.size(); s += slab_size) {
+    size_t end = std::min(entries.size(), s + slab_size);
+    std::sort(entries.begin() + s, entries.begin() + end,
+              [](const Entry& a, const Entry& b) {
+                return a.box.Center().y < b.box.Center().y;
+              });
+    for (size_t i = s; i < end; i += cap) {
+      auto node = std::make_unique<Node>();
+      node->is_leaf = true;
+      size_t leaf_end = std::min(end, i + cap);
+      node->entries.assign(entries.begin() + i, entries.begin() + leaf_end);
+      node->box = NodeBounds(*node);
+      level.push_back(std::move(node));
+    }
+  }
+
+  // Pack upward until a single root remains.
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> next;
+    for (size_t i = 0; i < level.size(); i += cap) {
+      auto node = std::make_unique<Node>();
+      node->is_leaf = false;
+      size_t end = std::min(level.size(), i + cap);
+      for (size_t j = i; j < end; ++j) {
+        node->children.push_back(std::move(level[j]));
+      }
+      node->box = NodeBounds(*node);
+      next.push_back(std::move(node));
+    }
+    level = std::move(next);
+  }
+  tree.root_ = std::move(level.front());
+  return tree;
+}
+
+void RTree::Insert(const BoundingBox& box, Id id) {
+  Entry entry{box, id};
+  std::unique_ptr<Node> split;
+  InsertRec(root_.get(), entry, 0, &split);
+  if (split) {
+    // Root split: grow the tree by one level.
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split));
+    new_root->box = NodeBounds(*new_root);
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+void RTree::InsertRec(Node* node, const Entry& entry, size_t level,
+                      std::unique_ptr<Node>* split_out) {
+  node->box.ExtendWith(entry.box);
+  if (node->is_leaf) {
+    node->entries.push_back(entry);
+    if (node->entries.size() > max_entries_) {
+      SplitLeaf(node, split_out);
+    }
+    return;
+  }
+
+  // Choose the child needing least enlargement (ties: smaller area).
+  Node* best = nullptr;
+  double best_enlargement = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (const auto& child : node->children) {
+    double enlargement = child->box.Enlargement(entry.box);
+    double area = child->box.Area();
+    if (enlargement < best_enlargement ||
+        (enlargement == best_enlargement && area < best_area)) {
+      best = child.get();
+      best_enlargement = enlargement;
+      best_area = area;
+    }
+  }
+  std::unique_ptr<Node> child_split;
+  InsertRec(best, entry, level + 1, &child_split);
+  if (child_split) {
+    node->children.push_back(std::move(child_split));
+    if (node->children.size() > max_entries_) {
+      SplitInternal(node, split_out);
+    }
+  }
+}
+
+namespace {
+
+// Quadratic-split seed selection: the pair wasting the most area together.
+template <typename GetBox, typename Item>
+std::pair<size_t, size_t> PickSeeds(const std::vector<Item>& items,
+                                    const GetBox& get_box) {
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    for (size_t j = i + 1; j < items.size(); ++j) {
+      BoundingBox merged = get_box(items[i]).Union(get_box(items[j]));
+      double waste =
+          merged.Area() - get_box(items[i]).Area() - get_box(items[j]).Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  return {seed_a, seed_b};
+}
+
+// Distributes items between two groups by minimal enlargement, honoring the
+// min-fill constraint.
+template <typename GetBox, typename Item>
+void DistributeQuadratic(std::vector<Item> items, const GetBox& get_box,
+                         size_t min_fill, std::vector<Item>* group_a,
+                         std::vector<Item>* group_b, BoundingBox* box_a,
+                         BoundingBox* box_b) {
+  auto [ia, ib] = PickSeeds(items, get_box);
+  group_a->push_back(std::move(items[ia]));
+  group_b->push_back(std::move(items[ib]));
+  *box_a = get_box(group_a->front());
+  *box_b = get_box(group_b->front());
+  // Erase the larger index first.
+  items.erase(items.begin() + std::max(ia, ib));
+  items.erase(items.begin() + std::min(ia, ib));
+
+  while (!items.empty()) {
+    // Min-fill forcing.
+    if (group_a->size() + items.size() == min_fill) {
+      for (Item& it : items) {
+        box_a->ExtendWith(get_box(it));
+        group_a->push_back(std::move(it));
+      }
+      items.clear();
+      break;
+    }
+    if (group_b->size() + items.size() == min_fill) {
+      for (Item& it : items) {
+        box_b->ExtendWith(get_box(it));
+        group_b->push_back(std::move(it));
+      }
+      items.clear();
+      break;
+    }
+    // Pick the item with the greatest preference difference.
+    size_t best = 0;
+    double best_diff = -1.0;
+    for (size_t i = 0; i < items.size(); ++i) {
+      double da = box_a->Enlargement(get_box(items[i]));
+      double db = box_b->Enlargement(get_box(items[i]));
+      double diff = std::abs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        best = i;
+      }
+    }
+    double da = box_a->Enlargement(get_box(items[best]));
+    double db = box_b->Enlargement(get_box(items[best]));
+    if (da < db || (da == db && group_a->size() <= group_b->size())) {
+      box_a->ExtendWith(get_box(items[best]));
+      group_a->push_back(std::move(items[best]));
+    } else {
+      box_b->ExtendWith(get_box(items[best]));
+      group_b->push_back(std::move(items[best]));
+    }
+    items.erase(items.begin() + best);
+  }
+}
+
+}  // namespace
+
+void RTree::SplitLeaf(Node* node, std::unique_ptr<Node>* out) {
+  auto get_box = [](const Entry& e) { return e.box; };
+  std::vector<Entry> items = std::move(node->entries);
+  node->entries.clear();
+  auto sibling = std::make_unique<Node>();
+  sibling->is_leaf = true;
+  size_t min_fill = std::min(min_entries_ == 0 ? 2 : min_entries_,
+                             items.size() / 2);
+  DistributeQuadratic(std::move(items), get_box, std::max<size_t>(min_fill, 2),
+                      &node->entries, &sibling->entries, &node->box,
+                      &sibling->box);
+  *out = std::move(sibling);
+}
+
+void RTree::SplitInternal(Node* node, std::unique_ptr<Node>* out) {
+  auto get_box = [](const std::unique_ptr<Node>& n) { return n->box; };
+  std::vector<std::unique_ptr<Node>> items = std::move(node->children);
+  node->children.clear();
+  auto sibling = std::make_unique<Node>();
+  sibling->is_leaf = false;
+  size_t min_fill = std::min(min_entries_ == 0 ? 2 : min_entries_,
+                             items.size() / 2);
+  DistributeQuadratic(std::move(items), get_box, std::max<size_t>(min_fill, 2),
+                      &node->children, &sibling->children, &node->box,
+                      &sibling->box);
+  *out = std::move(sibling);
+}
+
+std::vector<RTree::Id> RTree::Search(const BoundingBox& query) const {
+  std::vector<Id> out;
+  Visit(query, [&out](const Entry& e) {
+    out.push_back(e.id);
+    return true;
+  });
+  return out;
+}
+
+std::vector<RTree::Id> RTree::SearchPoint(Point p) const {
+  BoundingBox q(p.x, p.y, p.x, p.y);
+  return Search(q);
+}
+
+void RTree::Visit(const BoundingBox& query,
+                  const std::function<bool(const Entry&)>& visitor) const {
+  if (!root_) {
+    return;
+  }
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node->box.Intersects(query)) {
+      continue;
+    }
+    if (node->is_leaf) {
+      for (const Entry& e : node->entries) {
+        if (e.box.Intersects(query)) {
+          if (!visitor(e)) {
+            return;
+          }
+        }
+      }
+    } else {
+      for (const auto& child : node->children) {
+        stack.push_back(child.get());
+      }
+    }
+  }
+}
+
+std::vector<RTree::Entry> RTree::Nearest(Point p, size_t k) const {
+  std::vector<Entry> out;
+  if (!root_ || size_ == 0 || k == 0) {
+    return out;
+  }
+  // Best-first search: a min-heap over (distance, node-or-entry).
+  struct Item {
+    double dist;
+    const Node* node;   // Non-null for internal items.
+    const Entry* entry; // Non-null for leaf entries.
+  };
+  auto cmp = [](const Item& a, const Item& b) { return a.dist > b.dist; };
+  std::priority_queue<Item, std::vector<Item>, decltype(cmp)> heap(cmp);
+  heap.push({root_->box.SquaredDistanceTo(p), root_.get(), nullptr});
+  while (!heap.empty() && out.size() < k) {
+    Item item = heap.top();
+    heap.pop();
+    if (item.entry != nullptr) {
+      out.push_back(*item.entry);
+      continue;
+    }
+    const Node* node = item.node;
+    if (node->is_leaf) {
+      for (const Entry& e : node->entries) {
+        heap.push({e.box.SquaredDistanceTo(p), nullptr, &e});
+      }
+    } else {
+      for (const auto& child : node->children) {
+        heap.push({child->box.SquaredDistanceTo(p), child.get(), nullptr});
+      }
+    }
+  }
+  return out;
+}
+
+size_t RTree::Height() const {
+  if (size_ == 0) {
+    return 0;
+  }
+  return HeightOf(root_.get());
+}
+
+size_t RTree::HeightOf(const Node* node) const {
+  if (node->is_leaf) {
+    return 1;
+  }
+  return 1 + HeightOf(node->children.front().get());
+}
+
+BoundingBox RTree::Bounds() const {
+  return root_ ? root_->box : BoundingBox();
+}
+
+bool RTree::CheckInvariants() const {
+  if (!root_) {
+    return size_ == 0;
+  }
+  size_t leaf_depth = HeightOf(root_.get());
+  return CheckNode(root_.get(), 1, leaf_depth);
+}
+
+bool RTree::CheckNode(const Node* node, size_t depth,
+                      size_t leaf_depth) const {
+  bool is_root = (node == root_.get());
+  if (node->is_leaf) {
+    if (depth != leaf_depth) {
+      return false;
+    }
+    if (!is_root && node->entries.size() < 1) {
+      return false;
+    }
+    if (node->entries.size() > max_entries_ + 0) {
+      return false;
+    }
+    for (const Entry& e : node->entries) {
+      if (!node->box.Contains(e.box)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (node->children.empty()) {
+    return false;
+  }
+  if (node->children.size() > max_entries_) {
+    return false;
+  }
+  for (const auto& child : node->children) {
+    if (!node->box.Contains(child->box)) {
+      return false;
+    }
+    if (!CheckNode(child.get(), depth + 1, leaf_depth)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace piet::index

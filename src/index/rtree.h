@@ -1,0 +1,91 @@
+#ifndef PIET_INDEX_RTREE_H_
+#define PIET_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace piet::index {
+
+/// An R-tree over (BoundingBox, id) entries, with quadratic-split dynamic
+/// insertion and Sort-Tile-Recursive (STR) bulk loading. Used for
+/// point-location candidates over layer polygons and for the Sec. 5
+/// index-accelerated evaluation strategy.
+class RTree {
+ public:
+  using Id = int64_t;
+
+  struct Entry {
+    geometry::BoundingBox box;
+    Id id = 0;
+  };
+
+  /// `max_entries` per node; min is max/2.
+  explicit RTree(size_t max_entries = 16);
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) noexcept = default;
+  RTree& operator=(RTree&&) noexcept = default;
+
+  /// Builds a packed tree from scratch with STR; replaces current content.
+  static RTree BulkLoad(std::vector<Entry> entries, size_t max_entries = 16);
+
+  /// Inserts one entry (quadratic split on overflow).
+  void Insert(const geometry::BoundingBox& box, Id id);
+
+  /// Ids of entries whose box intersects `query`.
+  std::vector<Id> Search(const geometry::BoundingBox& query) const;
+
+  /// Ids of entries whose box contains `p`.
+  std::vector<Id> SearchPoint(geometry::Point p) const;
+
+  /// The `k` entries with smallest box distance to `p`, nearest first
+  /// (best-first search over node boxes). For point entries this is exact
+  /// kNN; for extended boxes it ranks by minimum box distance.
+  std::vector<Entry> Nearest(geometry::Point p, size_t k) const;
+
+  /// Visits matching entries without materializing a vector; return false
+  /// from the visitor to stop early.
+  void Visit(const geometry::BoundingBox& query,
+             const std::function<bool(const Entry&)>& visitor) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Tree height (0 for the empty tree, 1 for a leaf-only root).
+  size_t Height() const;
+  geometry::BoundingBox Bounds() const;
+
+  /// Structural invariants: node fill bounds, box containment, leaf depth
+  /// uniformity. Used by property tests.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    geometry::BoundingBox box;
+    std::vector<Entry> entries;                      // Leaf payload.
+    std::vector<std::unique_ptr<Node>> children;     // Internal payload.
+  };
+
+  void InsertRec(Node* node, const Entry& entry, size_t level,
+                 std::unique_ptr<Node>* split_out);
+  void SplitLeaf(Node* node, std::unique_ptr<Node>* out);
+  void SplitInternal(Node* node, std::unique_ptr<Node>* out);
+  static geometry::BoundingBox NodeBounds(const Node& node);
+  size_t HeightOf(const Node* node) const;
+  bool CheckNode(const Node* node, size_t depth, size_t leaf_depth) const;
+
+  size_t max_entries_;
+  size_t min_entries_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace piet::index
+
+#endif  // PIET_INDEX_RTREE_H_

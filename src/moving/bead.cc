@@ -1,0 +1,167 @@
+#include "moving/bead.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace piet::moving {
+
+using geometry::Point;
+using geometry::Polygon;
+using geometry::Ring;
+
+Result<LifelineBead> LifelineBead::Create(TimedPoint a, TimedPoint b,
+                                          double vmax) {
+  if (!(a.t < b.t)) {
+    return Status::InvalidArgument("bead needs a.t < b.t");
+  }
+  if (vmax <= 0.0) {
+    return Status::InvalidArgument("vmax must be positive");
+  }
+  double reach = vmax * (b.t - a.t);
+  double dist = Distance(a.pos, b.pos);
+  if (dist > reach * (1.0 + 1e-12)) {
+    return Status::InvalidArgument(
+        "observations are inconsistent with the speed bound (distance " +
+        std::to_string(dist) + " > vmax*dt " + std::to_string(reach) + ")");
+  }
+  return LifelineBead(a, b, vmax);
+}
+
+LifelineBead::LifelineBead(TimedPoint a, TimedPoint b, double vmax)
+    : a_(a), b_(b), vmax_(vmax) {
+  double two_a = vmax_ * (b_.t - a_.t);
+  semi_major_ = two_a / 2.0;
+  double c = Distance(a_.pos, b_.pos) / 2.0;  // Focal half-distance.
+  double min_sq = std::max(0.0, semi_major_ * semi_major_ - c * c);
+  semi_minor_ = std::sqrt(min_sq);
+  Point d = b_.pos - a_.pos;
+  double norm = Norm(d);
+  if (norm == 0.0) {
+    cos_theta_ = 1.0;
+    sin_theta_ = 0.0;
+  } else {
+    cos_theta_ = d.x / norm;
+    sin_theta_ = d.y / norm;
+  }
+}
+
+Point LifelineBead::Center() const {
+  return (a_.pos + b_.pos) / 2.0;
+}
+
+Point LifelineBead::ToUnitFrame(Point p) const {
+  Point rel = p - Center();
+  // Rotate by -theta, then scale axes to unit.
+  double rx = rel.x * cos_theta_ + rel.y * sin_theta_;
+  double ry = -rel.x * sin_theta_ + rel.y * cos_theta_;
+  double ux = semi_major_ > 0.0 ? rx / semi_major_ : rx * 1e18;
+  double uy = semi_minor_ > 0.0 ? ry / semi_minor_ : ry * 1e18;
+  return Point(ux, uy);
+}
+
+bool LifelineBead::ContainsPoint(Point p) const {
+  Point u = ToUnitFrame(p);
+  return Dot(u, u) <= 1.0 + 1e-12;
+}
+
+namespace {
+
+// Exact closed segment vs closed unit disc intersection test.
+bool SegmentMeetsUnitDisc(Point a, Point b) {
+  Point d = b - a;
+  double len2 = Dot(d, d);
+  double t = 0.0;
+  if (len2 > 0.0) {
+    t = std::clamp(-Dot(a, d) / len2, 0.0, 1.0);
+  }
+  Point closest = a + d * t;
+  return Dot(closest, closest) <= 1.0 + 1e-12;
+}
+
+}  // namespace
+
+bool LifelineBead::IntersectsPolygon(const Polygon& polygon) const {
+  // Degenerate bead (zero minor axis): the projection is the focal
+  // segment.
+  if (semi_minor_ <= 0.0) {
+    return polygon.IntersectsSegment({a_.pos, b_.pos});
+  }
+  // Case 1: polygon contains the ellipse center (covers "ellipse inside
+  // polygon" and overlapping cases).
+  if (polygon.Contains(Center())) {
+    return true;
+  }
+  // Case 2: some polygon edge meets the ellipse — map to the unit frame and
+  // run the exact segment-disc test. (Holes need no special treatment for a
+  // boundary-meet test; an ellipse strictly inside a hole neither contains
+  // the center nor meets edges, and is indeed disjoint from the polygon.)
+  const Ring& shell = polygon.shell();
+  for (size_t i = 0; i < shell.size(); ++i) {
+    auto edge = shell.edge(i);
+    if (SegmentMeetsUnitDisc(ToUnitFrame(edge.a), ToUnitFrame(edge.b))) {
+      return true;
+    }
+  }
+  for (const Ring& hole : polygon.holes()) {
+    for (size_t i = 0; i < hole.size(); ++i) {
+      auto edge = hole.edge(i);
+      if (SegmentMeetsUnitDisc(ToUnitFrame(edge.a), ToUnitFrame(edge.b))) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::optional<LifelineBead::Disc> LifelineBead::CrossSectionAt(
+    temporal::TimePoint t) const {
+  if (t < a_.t || t > b_.t) {
+    return std::nullopt;
+  }
+  // Reachable set at time t: points within vmax*(t-t0) of p0 AND within
+  // vmax*(t1-t) of p1 — an intersection of two discs. We return the
+  // bounding disc of that lens: centered on the line p0->p1 at the
+  // interpolated position, with radius = min slack.
+  double r0 = vmax_ * (t - a_.t);
+  double r1 = vmax_ * (b_.t - t);
+  temporal::Duration span = b_.t - a_.t;
+  double u = span > 0.0 ? (t - a_.t) / span : 0.0;
+  Point on_line = a_.pos + (b_.pos - a_.pos) * u;
+  double d = Distance(a_.pos, b_.pos);
+  // Slack beyond the straight-line requirement, split between both discs.
+  double radius = std::min(r0 - u * d, r1 - (1.0 - u) * d);
+  radius = std::max(0.0, radius);
+  return Disc{on_line, radius};
+}
+
+Result<std::vector<LifelineBead>> BeadsOf(const TrajectorySample& sample,
+                                          double vmax) {
+  std::vector<LifelineBead> beads;
+  const auto& pts = sample.points();
+  for (size_t i = 1; i < pts.size(); ++i) {
+    PIET_ASSIGN_OR_RETURN(LifelineBead bead,
+                          LifelineBead::Create(pts[i - 1], pts[i], vmax));
+    beads.push_back(std::move(bead));
+  }
+  return beads;
+}
+
+Result<bool> PossiblyPassesThrough(const TrajectorySample& sample, double vmax,
+                                   const Polygon& region) {
+  // Single observations are points.
+  for (const TimedPoint& tp : sample.points()) {
+    if (region.Contains(tp.pos)) {
+      return true;
+    }
+  }
+  PIET_ASSIGN_OR_RETURN(std::vector<LifelineBead> beads,
+                        BeadsOf(sample, vmax));
+  for (const LifelineBead& bead : beads) {
+    if (bead.IntersectsPolygon(region)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace piet::moving

@@ -1,0 +1,83 @@
+#ifndef PIET_MOVING_BEAD_H_
+#define PIET_MOVING_BEAD_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/polygon.h"
+#include "moving/trajectory.h"
+
+namespace piet::moving {
+
+/// A lifeline bead (Hornsby & Egenhofer, discussed in the paper's related
+/// work): between two consecutive observations, an object with speed bound
+/// `vmax` can only be inside the space-time prism whose spatial projection
+/// is the ellipse with foci at the two observed positions and major-axis
+/// length vmax * Δt. This extension module answers "could the object
+/// possibly have been in region R between its samples?" — the
+/// uncertainty-aware variant of PassesThrough.
+class LifelineBead {
+ public:
+  /// Requires t0 < t1 and vmax * (t1 - t0) >= distance(p0, p1) (otherwise
+  /// the observations are inconsistent with the speed bound).
+  static Result<LifelineBead> Create(TimedPoint a, TimedPoint b, double vmax);
+
+  const TimedPoint& a() const { return a_; }
+  const TimedPoint& b() const { return b_; }
+  double vmax() const { return vmax_; }
+
+  /// Semi-major axis of the projected ellipse.
+  double SemiMajor() const { return semi_major_; }
+  /// Semi-minor axis.
+  double SemiMinor() const { return semi_minor_; }
+  /// Ellipse center (midpoint of the foci).
+  geometry::Point Center() const;
+
+  /// True if `p` lies in the projected ellipse (closed).
+  bool ContainsPoint(geometry::Point p) const;
+
+  /// True if the projected ellipse and the closed polygon share a point.
+  /// Exact: the polygon is mapped through the affine transform that sends
+  /// the ellipse to the unit circle, then tested with exact segment-circle
+  /// intersection.
+  bool IntersectsPolygon(const geometry::Polygon& polygon) const;
+
+  /// Spatial positions possibly occupied at instant `t` form a disc (the
+  /// prism cross-section): returns its center and radius, or nullopt when
+  /// t is outside [t0, t1].
+  struct Disc {
+    geometry::Point center;
+    double radius;
+  };
+  std::optional<Disc> CrossSectionAt(temporal::TimePoint t) const;
+
+ private:
+  LifelineBead(TimedPoint a, TimedPoint b, double vmax);
+
+  /// Maps a point into the ellipse's unit-circle frame.
+  geometry::Point ToUnitFrame(geometry::Point p) const;
+
+  TimedPoint a_;
+  TimedPoint b_;
+  double vmax_;
+  double semi_major_;
+  double semi_minor_;
+  double cos_theta_;
+  double sin_theta_;
+};
+
+/// All beads of a sampled object under speed bound `vmax`.
+Result<std::vector<LifelineBead>> BeadsOf(const TrajectorySample& sample,
+                                          double vmax);
+
+/// Uncertainty-aware passes-through: true if some bead's projection meets
+/// the region — i.e. the object *could* have visited it. The LIT-based
+/// PassesThrough implies this (the interpolated path lies inside every
+/// bead).
+Result<bool> PossiblyPassesThrough(const TrajectorySample& sample, double vmax,
+                                   const geometry::Polygon& region);
+
+}  // namespace piet::moving
+
+#endif  // PIET_MOVING_BEAD_H_

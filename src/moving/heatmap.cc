@@ -1,0 +1,120 @@
+#include "moving/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "moving/trajectory.h"
+
+namespace piet::moving {
+
+using geometry::BoundingBox;
+using geometry::Point;
+
+TrajectoryHeatmap::TrajectoryHeatmap(const BoundingBox& extent,
+                                     size_t cells_per_axis)
+    : extent_(extent), n_(std::max<size_t>(1, cells_per_axis)) {
+  step_x_ = std::max(extent_.width(), 1e-12) / static_cast<double>(n_);
+  step_y_ = std::max(extent_.height(), 1e-12) / static_cast<double>(n_);
+  passes_.assign(n_ * n_, 0);
+  samples_.assign(n_ * n_, 0);
+}
+
+BoundingBox TrajectoryHeatmap::CellBox(size_t cx, size_t cy) const {
+  return BoundingBox(extent_.min_x + cx * step_x_,
+                     extent_.min_y + cy * step_y_,
+                     extent_.min_x + (cx + 1) * step_x_,
+                     extent_.min_y + (cy + 1) * step_y_);
+}
+
+namespace {
+
+// Clamped cell coordinate of a value.
+size_t CellOf(double v, double lo, double step, size_t n) {
+  double idx = (v - lo) / step;
+  if (idx < 0.0) {
+    return 0;
+  }
+  size_t i = static_cast<size_t>(idx);
+  return std::min(i, n - 1);
+}
+
+}  // namespace
+
+Status TrajectoryHeatmap::AddMoft(const Moft& moft) {
+  for (ObjectId oid : moft.ObjectIds()) {
+    PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
+                          TrajectorySample::FromMoft(moft, oid));
+    // Sample counts.
+    for (const TimedPoint& tp : sample.points()) {
+      size_t cx = CellOf(tp.pos.x, extent_.min_x, step_x_, n_);
+      size_t cy = CellOf(tp.pos.y, extent_.min_y, step_y_, n_);
+      ++samples_[Index(cx, cy)];
+    }
+    // Pass counts: walk each LIT leg through the grid (conservative DDA:
+    // supersample at half the cell pitch, dedup cells per object).
+    PIET_ASSIGN_OR_RETURN(LinearTrajectory traj,
+                          LinearTrajectory::FromSample(std::move(sample)));
+    std::set<size_t> visited;
+    double pitch = std::min(step_x_, step_y_) / 2.0;
+    for (const LinearTrajectory::Leg& leg : traj.Legs()) {
+      double len = Distance(leg.p0, leg.p1);
+      int steps = std::max(1, static_cast<int>(std::ceil(len / pitch)));
+      for (int i = 0; i <= steps; ++i) {
+        Point p = leg.p0 + (leg.p1 - leg.p0) *
+                               (static_cast<double>(i) / steps);
+        size_t cx = CellOf(p.x, extent_.min_x, step_x_, n_);
+        size_t cy = CellOf(p.y, extent_.min_y, step_y_, n_);
+        visited.insert(Index(cx, cy));
+      }
+    }
+    if (traj.Legs().empty() && !moft.SamplesOf(oid).empty()) {
+      const Sample& s = moft.SamplesOf(oid).front();
+      visited.insert(Index(CellOf(s.pos.x, extent_.min_x, step_x_, n_),
+                           CellOf(s.pos.y, extent_.min_y, step_y_, n_)));
+    }
+    for (size_t idx : visited) {
+      ++passes_[idx];
+    }
+  }
+  return Status::OK();
+}
+
+int64_t TrajectoryHeatmap::PassCount(size_t cx, size_t cy) const {
+  return passes_[Index(cx, cy)];
+}
+
+int64_t TrajectoryHeatmap::SampleCount(size_t cx, size_t cy) const {
+  return samples_[Index(cx, cy)];
+}
+
+TrajectoryHeatmap::Hotspot TrajectoryHeatmap::MaxCell() const {
+  Hotspot best;
+  for (size_t cy = 0; cy < n_; ++cy) {
+    for (size_t cx = 0; cx < n_; ++cx) {
+      if (passes_[Index(cx, cy)] > best.passes) {
+        best = {cx, cy, passes_[Index(cx, cy)]};
+      }
+    }
+  }
+  return best;
+}
+
+olap::FactTable TrajectoryHeatmap::ToFactTable() const {
+  olap::FactTable out =
+      olap::FactTable::Make({"cx", "cy"}, {"passes", "samples"});
+  for (size_t cy = 0; cy < n_; ++cy) {
+    for (size_t cx = 0; cx < n_; ++cx) {
+      size_t i = Index(cx, cy);
+      if (passes_[i] == 0 && samples_[i] == 0) {
+        continue;
+      }
+      (void)out.Append({Value(static_cast<int64_t>(cx)),
+                        Value(static_cast<int64_t>(cy)), Value(passes_[i]),
+                        Value(samples_[i])});
+    }
+  }
+  return out;
+}
+
+}  // namespace piet::moving

@@ -1,0 +1,65 @@
+#ifndef PIET_MOVING_HEATMAP_H_
+#define PIET_MOVING_HEATMAP_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/box.h"
+#include "moving/moft.h"
+#include "olap/fact_table.h"
+
+namespace piet::moving {
+
+/// Grid-based trajectory aggregation after Meratnia & de By (the paper's
+/// Sec. 2): divide the area of study into homogeneous spatial units and
+/// associate each with the number of objects passing through it. The
+/// result is the "aggregated trajectory" raster the paper's related work
+/// builds merged trajectories from, here computed exactly over LIT legs.
+class TrajectoryHeatmap {
+ public:
+  /// `extent` fixes the raster area; `cells_per_axis` its resolution.
+  TrajectoryHeatmap(const geometry::BoundingBox& extent,
+                    size_t cells_per_axis);
+
+  /// Accumulates every object of the MOFT: a cell is credited once per
+  /// object whose LIT intersects it (pass count), and separately once per
+  /// observed sample falling in it (sample count).
+  Status AddMoft(const Moft& moft);
+
+  size_t cells_per_axis() const { return n_; }
+  const geometry::BoundingBox& extent() const { return extent_; }
+
+  /// Distinct-object pass count of cell (cx, cy).
+  int64_t PassCount(size_t cx, size_t cy) const;
+  /// Raw observed-sample count of cell (cx, cy).
+  int64_t SampleCount(size_t cx, size_t cy) const;
+
+  /// Cell geometry.
+  geometry::BoundingBox CellBox(size_t cx, size_t cy) const;
+
+  /// The densest cell by pass count.
+  struct Hotspot {
+    size_t cx = 0;
+    size_t cy = 0;
+    int64_t passes = 0;
+  };
+  Hotspot MaxCell() const;
+
+  /// Renders as a relation (cx, cy, passes, samples), skipping empty
+  /// cells — ready for γ aggregation or export.
+  olap::FactTable ToFactTable() const;
+
+ private:
+  size_t Index(size_t cx, size_t cy) const { return cy * n_ + cx; }
+
+  geometry::BoundingBox extent_;
+  size_t n_;
+  double step_x_;
+  double step_y_;
+  std::vector<int64_t> passes_;
+  std::vector<int64_t> samples_;
+};
+
+}  // namespace piet::moving
+
+#endif  // PIET_MOVING_HEATMAP_H_

@@ -1,0 +1,146 @@
+#include "moving/moft.h"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <ostream>
+
+#include "common/string_util.h"
+
+namespace piet::moving {
+
+using temporal::TimePoint;
+
+Status Moft::Add(ObjectId oid, TimePoint t, geometry::Point pos) {
+  auto& samples = by_object_[oid];
+  Sample s{oid, t, pos};
+  auto it = std::lower_bound(samples.begin(), samples.end(), t,
+                             [](const Sample& a, TimePoint v) {
+                               return a.t < v;
+                             });
+  if (it != samples.end() && it->t == t) {
+    if (it->pos == pos) {
+      return Status::OK();  // Idempotent duplicate.
+    }
+    return Status::AlreadyExists(
+        "object " + std::to_string(oid) + " already sampled at t=" +
+        std::to_string(t.seconds) + " with a different position");
+  }
+  samples.insert(it, s);
+  ++size_;
+  return Status::OK();
+}
+
+std::vector<ObjectId> Moft::ObjectIds() const {
+  std::vector<ObjectId> out;
+  out.reserve(by_object_.size());
+  for (const auto& [oid, samples] : by_object_) {
+    out.push_back(oid);
+  }
+  return out;
+}
+
+const std::vector<Sample>& Moft::SamplesOf(ObjectId oid) const {
+  static const std::vector<Sample>* kEmpty = new std::vector<Sample>();
+  auto it = by_object_.find(oid);
+  if (it == by_object_.end()) {
+    return *kEmpty;
+  }
+  return it->second;
+}
+
+std::vector<Sample> Moft::AllSamples() const {
+  std::vector<Sample> out;
+  out.reserve(size_);
+  for (const auto& [oid, samples] : by_object_) {
+    out.insert(out.end(), samples.begin(), samples.end());
+  }
+  return out;
+}
+
+std::vector<Sample> Moft::SamplesBetween(TimePoint t0, TimePoint t1) const {
+  std::vector<Sample> out;
+  for (const auto& [oid, samples] : by_object_) {
+    auto lo = std::lower_bound(
+        samples.begin(), samples.end(), t0,
+        [](const Sample& s, TimePoint v) { return s.t < v; });
+    for (auto it = lo; it != samples.end() && it->t <= t1; ++it) {
+      out.push_back(*it);
+    }
+  }
+  return out;
+}
+
+Result<temporal::Interval> Moft::TimeSpan() const {
+  if (size_ == 0) {
+    return Status::NotFound("empty MOFT has no time span");
+  }
+  TimePoint lo = TimePoint(std::numeric_limits<double>::infinity());
+  TimePoint hi = TimePoint(-std::numeric_limits<double>::infinity());
+  for (const auto& [oid, samples] : by_object_) {
+    if (!samples.empty()) {
+      lo = std::min(lo, samples.front().t);
+      hi = std::max(hi, samples.back().t);
+    }
+  }
+  return temporal::Interval(lo, hi);
+}
+
+olap::FactTable Moft::ToFactTable() const {
+  olap::FactTable table = olap::FactTable::Make({"Oid", "t", "x", "y"}, {});
+  for (const Sample& s : AllSamples()) {
+    (void)table.Append({Value(s.oid), Value(s.t.seconds), Value(s.pos.x),
+                        Value(s.pos.y)});
+  }
+  return table;
+}
+
+Status Moft::WriteCsv(std::ostream& out) const {
+  out << "# oid,t,x,y\n";
+  for (const Sample& s : AllSamples()) {
+    out << s.oid << "," << s.t.seconds << "," << s.pos.x << "," << s.pos.y
+        << "\n";
+  }
+  if (!out) {
+    return Status::IoError("failed writing MOFT CSV");
+  }
+  return Status::OK();
+}
+
+Result<Moft> Moft::ReadCsv(std::istream& in) {
+  Moft moft;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv.front() == '#') {
+      continue;
+    }
+    std::vector<std::string> fields = Split(sv, ',');
+    if (fields.size() != 4) {
+      return Status::ParseError("line " + std::to_string(lineno) +
+                                ": expected 4 fields, got " +
+                                std::to_string(fields.size()));
+    }
+    auto parse_double = [&](const std::string& s) -> Result<double> {
+      std::string t(Trim(s));
+      double v = 0.0;
+      auto res = std::from_chars(t.data(), t.data() + t.size(), v);
+      if (res.ec != std::errc() || res.ptr != t.data() + t.size()) {
+        return Status::ParseError("line " + std::to_string(lineno) +
+                                  ": bad number '" + t + "'");
+      }
+      return v;
+    };
+    PIET_ASSIGN_OR_RETURN(double oid_d, parse_double(fields[0]));
+    PIET_ASSIGN_OR_RETURN(double t, parse_double(fields[1]));
+    PIET_ASSIGN_OR_RETURN(double x, parse_double(fields[2]));
+    PIET_ASSIGN_OR_RETURN(double y, parse_double(fields[3]));
+    PIET_RETURN_NOT_OK(moft.Add(static_cast<ObjectId>(oid_d), TimePoint(t),
+                                geometry::Point(x, y)));
+  }
+  return moft;
+}
+
+}  // namespace piet::moving

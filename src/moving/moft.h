@@ -1,0 +1,78 @@
+#ifndef PIET_MOVING_MOFT_H_
+#define PIET_MOVING_MOFT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/point.h"
+#include "olap/fact_table.h"
+#include "temporal/interval.h"
+#include "temporal/time_point.h"
+
+namespace piet::moving {
+
+/// Identifier of a moving object (the paper's Oid).
+using ObjectId = int64_t;
+
+/// One observation row of the MOFT: (Oid, t, x, y).
+struct Sample {
+  ObjectId oid = 0;
+  temporal::TimePoint t;
+  geometry::Point pos;
+
+  friend bool operator==(const Sample& a, const Sample& b) {
+    return a.oid == b.oid && a.t == b.t && a.pos == b.pos;
+  }
+};
+
+/// The Moving Object Fact Table (Sec. 3): a finite set of samples
+/// (Oid, t, x, y). Stored per object in time order; duplicate (Oid, t)
+/// pairs are rejected (an object is at one place at a time).
+class Moft {
+ public:
+  Moft() = default;
+
+  /// Appends an observation. Out-of-order inserts are fine (kept sorted);
+  /// a second observation of the same object at the same instant must agree
+  /// on the position.
+  Status Add(ObjectId oid, temporal::TimePoint t, geometry::Point pos);
+
+  size_t num_samples() const { return size_; }
+  size_t num_objects() const { return by_object_.size(); }
+
+  /// All object ids, ascending.
+  std::vector<ObjectId> ObjectIds() const;
+
+  /// Time-ordered samples of one object (empty when unknown).
+  const std::vector<Sample>& SamplesOf(ObjectId oid) const;
+
+  /// Every sample, ordered by (oid, t).
+  std::vector<Sample> AllSamples() const;
+
+  /// Samples with t in the closed window, ordered by (oid, t). Uses the
+  /// per-object time ordering for O(log n) window location per object.
+  std::vector<Sample> SamplesBetween(temporal::TimePoint t0,
+                                     temporal::TimePoint t1) const;
+
+  /// The observation window [min t, max t] across all samples.
+  Result<temporal::Interval> TimeSpan() const;
+
+  /// Renders as the paper's Table 1 relation (Oid, t, x, y).
+  olap::FactTable ToFactTable() const;
+
+  /// CSV round-trip: "oid,t,x,y" per line, '#' comments allowed.
+  Status WriteCsv(std::ostream& out) const;
+  static Result<Moft> ReadCsv(std::istream& in);
+
+ private:
+  std::map<ObjectId, std::vector<Sample>> by_object_;
+  size_t size_ = 0;
+};
+
+}  // namespace piet::moving
+
+#endif  // PIET_MOVING_MOFT_H_

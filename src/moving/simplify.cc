@@ -1,0 +1,87 @@
+#include "moving/simplify.h"
+
+#include <vector>
+
+namespace piet::moving {
+
+namespace {
+
+using geometry::Point;
+
+// Synchronized distance of points[i] from the time-parameterized segment
+// points[lo] -> points[hi].
+double SyncDistance(const std::vector<TimedPoint>& points, size_t lo,
+                    size_t hi, size_t i) {
+  const TimedPoint& a = points[lo];
+  const TimedPoint& b = points[hi];
+  temporal::Duration span = b.t - a.t;
+  double u = span > 0.0 ? (points[i].t - a.t) / span : 0.0;
+  Point expected = a.pos + (b.pos - a.pos) * u;
+  return Distance(points[i].pos, expected);
+}
+
+// Recursive Douglas-Peucker over index range [lo, hi]; appends kept
+// indices in (lo, hi) to `keep`.
+void Simplify(const std::vector<TimedPoint>& points, size_t lo, size_t hi,
+              double tolerance, std::vector<size_t>* keep) {
+  if (hi <= lo + 1) {
+    return;
+  }
+  double worst = -1.0;
+  size_t worst_idx = lo;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    double d = SyncDistance(points, lo, hi, i);
+    if (d > worst) {
+      worst = d;
+      worst_idx = i;
+    }
+  }
+  if (worst <= tolerance) {
+    return;  // Every interior sample is representable by the chord.
+  }
+  Simplify(points, lo, worst_idx, tolerance, keep);
+  keep->push_back(worst_idx);
+  Simplify(points, worst_idx, hi, tolerance, keep);
+}
+
+}  // namespace
+
+Result<TrajectorySample> SimplifySynchronized(const TrajectorySample& sample,
+                                              double tolerance) {
+  if (tolerance < 0.0) {
+    return Status::InvalidArgument("tolerance must be >= 0");
+  }
+  const auto& points = sample.points();
+  if (points.size() <= 2) {
+    return sample;
+  }
+  std::vector<size_t> keep = {0};
+  Simplify(points, 0, points.size() - 1, tolerance, &keep);
+  keep.push_back(points.size() - 1);
+  std::sort(keep.begin(), keep.end());
+
+  std::vector<TimedPoint> out;
+  out.reserve(keep.size());
+  for (size_t i : keep) {
+    out.push_back(points[i]);
+  }
+  return TrajectorySample::Create(std::move(out));
+}
+
+Result<double> MaxSynchronizedError(const TrajectorySample& original,
+                                    const TrajectorySample& simplified) {
+  PIET_ASSIGN_OR_RETURN(LinearTrajectory lit,
+                        LinearTrajectory::FromSample(simplified));
+  double worst = 0.0;
+  for (const TimedPoint& tp : original.points()) {
+    auto pos = lit.PositionAt(tp.t);
+    if (!pos) {
+      return Status::InvalidArgument(
+          "simplified trajectory does not cover the original time domain");
+    }
+    worst = std::max(worst, Distance(tp.pos, *pos));
+  }
+  return worst;
+}
+
+}  // namespace piet::moving

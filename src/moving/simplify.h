@@ -1,0 +1,30 @@
+#ifndef PIET_MOVING_SIMPLIFY_H_
+#define PIET_MOVING_SIMPLIFY_H_
+
+#include "common/result.h"
+#include "moving/trajectory.h"
+
+namespace piet::moving {
+
+/// Spatio-temporal trajectory simplification, after the trajectory
+/// aggregation line of work the paper discusses (Meratnia & de By):
+/// a Douglas–Peucker variant using the *synchronized Euclidean distance* —
+/// the distance between a sample and the position the simplified
+/// trajectory would assign at the sample's own timestamp. This preserves
+/// the LIT semantics of the retained samples: a simplified trajectory
+/// answers time-parameterized queries approximately, within `tolerance`.
+///
+/// Returns a sample containing a subset of the input points (always keeps
+/// the first and last).
+Result<TrajectorySample> SimplifySynchronized(const TrajectorySample& sample,
+                                              double tolerance);
+
+/// The maximum synchronized Euclidean distance between `original` samples
+/// and the LIT of `simplified` — the guarantee SimplifySynchronized
+/// enforces (<= tolerance).
+Result<double> MaxSynchronizedError(const TrajectorySample& original,
+                                    const TrajectorySample& simplified);
+
+}  // namespace piet::moving
+
+#endif  // PIET_MOVING_SIMPLIFY_H_

@@ -1,0 +1,119 @@
+#include "moving/traj_ops.h"
+
+#include <algorithm>
+
+#include "geometry/segment_polygon.h"
+
+namespace piet::moving {
+
+using geometry::ParamInterval;
+using geometry::Polygon;
+using geometry::Segment;
+using temporal::Interval;
+using temporal::IntervalSet;
+using temporal::TimePoint;
+
+IntervalSet InsideIntervals(const LinearTrajectory& trajectory,
+                            const Polygon& region) {
+  std::vector<Interval> pieces;
+  for (const LinearTrajectory::Leg& leg : trajectory.Legs()) {
+    Segment seg = leg.AsSegment();
+    temporal::Duration span = leg.DurationOf();
+    for (const ParamInterval& iv :
+         geometry::SegmentInsideIntervals(seg, region)) {
+      pieces.emplace_back(TimePoint(leg.t0.seconds + iv.t0 * span),
+                          TimePoint(leg.t0.seconds + iv.t1 * span));
+    }
+  }
+  // A single-point trajectory (one sample) has no legs; handle directly.
+  if (trajectory.sample().size() == 1) {
+    const TimedPoint& tp = trajectory.sample().points().front();
+    if (region.Contains(tp.pos)) {
+      pieces.emplace_back(tp.t, tp.t);
+    }
+  }
+  return IntervalSet(std::move(pieces));
+}
+
+bool PassesThrough(const LinearTrajectory& trajectory, const Polygon& region) {
+  if (!trajectory.sample().empty()) {
+    // Cheap pre-check on the sampled points.
+    for (const TimedPoint& tp : trajectory.sample().points()) {
+      if (region.Contains(tp.pos)) {
+        return true;
+      }
+    }
+  }
+  for (const LinearTrajectory::Leg& leg : trajectory.Legs()) {
+    if (geometry::SegmentIntersectsPolygon(leg.AsSegment(), region)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+temporal::Duration TimeInRegion(const LinearTrajectory& trajectory,
+                                const Polygon& region) {
+  return InsideIntervals(trajectory, region).TotalLength();
+}
+
+IntervalSet WithinDistanceIntervals(const LinearTrajectory& trajectory,
+                                    geometry::Point center, double radius) {
+  std::vector<Interval> pieces;
+  for (const LinearTrajectory::Leg& leg : trajectory.Legs()) {
+    temporal::Duration span = leg.DurationOf();
+    for (const ParamInterval& iv : geometry::SegmentWithinDistanceIntervals(
+             leg.AsSegment(), center, radius)) {
+      pieces.emplace_back(TimePoint(leg.t0.seconds + iv.t0 * span),
+                          TimePoint(leg.t0.seconds + iv.t1 * span));
+    }
+  }
+  if (trajectory.sample().size() == 1) {
+    const TimedPoint& tp = trajectory.sample().points().front();
+    if (Distance(tp.pos, center) <= radius) {
+      pieces.emplace_back(tp.t, tp.t);
+    }
+  }
+  return IntervalSet(std::move(pieces));
+}
+
+std::vector<Sample> SamplesInRegion(const Moft& moft, ObjectId oid,
+                                    const Polygon& region) {
+  std::vector<Sample> out;
+  for (const Sample& s : moft.SamplesOf(oid)) {
+    if (region.Contains(s.pos)) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+bool StaysWithin(const LinearTrajectory& trajectory, const Polygon& region) {
+  Interval domain = trajectory.TimeDomain();
+  IntervalSet inside = InsideIntervals(trajectory, region);
+  return inside.Contains(domain.begin) && inside.Contains(domain.end) &&
+         inside.TotalLength() >= domain.Length() - 1e-12;
+}
+
+double DistanceTravelledInside(const LinearTrajectory& trajectory,
+                               const Polygon& region) {
+  double total = 0.0;
+  for (const LinearTrajectory::Leg& leg : trajectory.Legs()) {
+    double leg_len = Distance(leg.p0, leg.p1);
+    if (leg_len == 0.0) {
+      continue;
+    }
+    for (const ParamInterval& iv :
+         geometry::SegmentInsideIntervals(leg.AsSegment(), region)) {
+      total += leg_len * iv.Length();
+    }
+  }
+  return total;
+}
+
+int EntryCount(const LinearTrajectory& trajectory, const Polygon& region) {
+  IntervalSet inside = InsideIntervals(trajectory, region);
+  return static_cast<int>(inside.size());
+}
+
+}  // namespace piet::moving

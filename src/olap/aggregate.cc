@@ -1,0 +1,170 @@
+#include "olap/aggregate.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace piet::olap {
+
+std::string_view AggFunctionToString(AggFunction f) {
+  switch (f) {
+    case AggFunction::kMin:
+      return "MIN";
+    case AggFunction::kMax:
+      return "MAX";
+    case AggFunction::kCount:
+      return "COUNT";
+    case AggFunction::kSum:
+      return "SUM";
+    case AggFunction::kAvg:
+      return "AVG";
+    case AggFunction::kCountDistinct:
+      return "COUNT_DISTINCT";
+  }
+  return "UNKNOWN";
+}
+
+Result<AggFunction> AggFunctionFromString(std::string_view name) {
+  std::string up = ToUpper(name);
+  if (up == "MIN") {
+    return AggFunction::kMin;
+  }
+  if (up == "MAX") {
+    return AggFunction::kMax;
+  }
+  if (up == "COUNT") {
+    return AggFunction::kCount;
+  }
+  if (up == "SUM") {
+    return AggFunction::kSum;
+  }
+  if (up == "AVG") {
+    return AggFunction::kAvg;
+  }
+  if (up == "COUNT_DISTINCT" || up == "COUNT DISTINCT") {
+    return AggFunction::kCountDistinct;
+  }
+  return Status::ParseError("unknown aggregate function '" +
+                            std::string(name) + "'");
+}
+
+Status Aggregator::Update(const Value& v) {
+  switch (fn_) {
+    case AggFunction::kCount:
+      ++count_;
+      return Status::OK();
+    case AggFunction::kCountDistinct:
+      ++count_;
+      distinct_.push_back(v);
+      return Status::OK();
+    case AggFunction::kSum:
+    case AggFunction::kAvg: {
+      PIET_ASSIGN_OR_RETURN(double x, v.AsNumeric());
+      sum_ += x;
+      ++count_;
+      return Status::OK();
+    }
+    case AggFunction::kMin:
+    case AggFunction::kMax:
+      if (!v.is_numeric() && !v.is_string()) {
+        return Status::TypeError("MIN/MAX needs ordered input, got " +
+                                 v.ToString());
+      }
+      if (!has_minmax_) {
+        min_ = max_ = v;
+        has_minmax_ = true;
+      } else {
+        if (v < min_) {
+          min_ = v;
+        }
+        if (max_ < v) {
+          max_ = v;
+        }
+      }
+      ++count_;
+      return Status::OK();
+  }
+  return Status::Internal("unhandled aggregate function");
+}
+
+Value Aggregator::Finish() const {
+  switch (fn_) {
+    case AggFunction::kCount:
+      return Value(static_cast<int64_t>(count_));
+    case AggFunction::kCountDistinct: {
+      std::vector<Value> sorted = distinct_;
+      std::sort(sorted.begin(), sorted.end());
+      sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+      return Value(static_cast<int64_t>(sorted.size()));
+    }
+    case AggFunction::kSum:
+      return count_ == 0 ? Value() : Value(sum_);
+    case AggFunction::kAvg:
+      return count_ == 0 ? Value()
+                         : Value(sum_ / static_cast<double>(count_));
+    case AggFunction::kMin:
+      return has_minmax_ ? min_ : Value();
+    case AggFunction::kMax:
+      return has_minmax_ ? max_ : Value();
+  }
+  return Value();
+}
+
+Result<FactTable> Aggregate(const FactTable& table,
+                            const std::vector<std::string>& group_by,
+                            AggFunction fn, const std::string& agg_col,
+                            const std::string& output_name) {
+  std::vector<size_t> key_idx;
+  key_idx.reserve(group_by.size());
+  for (const std::string& name : group_by) {
+    PIET_ASSIGN_OR_RETURN(size_t i, table.ColumnIndex(name));
+    key_idx.push_back(i);
+  }
+  PIET_ASSIGN_OR_RETURN(size_t agg_idx, table.ColumnIndex(agg_col));
+
+  // Ordered map so the output has deterministic group order.
+  std::map<Row, Aggregator> groups;
+  for (const Row& r : table.rows()) {
+    Row key;
+    key.reserve(key_idx.size());
+    for (size_t i : key_idx) {
+      key.push_back(r[i]);
+    }
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      it = groups.emplace(std::move(key), Aggregator(fn)).first;
+    }
+    PIET_RETURN_NOT_OK(it->second.Update(r[agg_idx]));
+  }
+
+  std::string out_col = output_name.empty()
+                            ? std::string(AggFunctionToString(fn)) + "(" +
+                                  agg_col + ")"
+                            : output_name;
+  FactTable out = FactTable::Make(group_by, {out_col});
+  if (groups.empty() && group_by.empty()) {
+    // Scalar aggregate of an empty relation.
+    Row row = {Aggregator(fn).Finish()};
+    PIET_RETURN_NOT_OK(out.Append(std::move(row)));
+    return out;
+  }
+  for (const auto& [key, agg] : groups) {
+    Row row = key;
+    row.push_back(agg.Finish());
+    PIET_RETURN_NOT_OK(out.Append(std::move(row)));
+  }
+  return out;
+}
+
+Result<Value> AggregateScalar(const FactTable& table, AggFunction fn,
+                              const std::string& agg_col) {
+  PIET_ASSIGN_OR_RETURN(FactTable result, Aggregate(table, {}, fn, agg_col));
+  if (result.num_rows() != 1) {
+    return Status::Internal("scalar aggregate produced " +
+                            std::to_string(result.num_rows()) + " rows");
+  }
+  return result.row(0)[0];
+}
+
+}  // namespace piet::olap

@@ -1,0 +1,70 @@
+#ifndef PIET_OLAP_AGGREGATE_H_
+#define PIET_OLAP_AGGREGATE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "olap/fact_table.h"
+
+namespace piet::olap {
+
+/// The paper's AGG set (Def. 7, after Consens & Mendelzon [1]), extended
+/// with COUNT DISTINCT which several Sec. 4 queries need ("number of cars" =
+/// distinct object ids).
+enum class AggFunction {
+  kMin = 0,
+  kMax,
+  kCount,
+  kSum,
+  kAvg,
+  kCountDistinct,
+};
+
+std::string_view AggFunctionToString(AggFunction f);
+Result<AggFunction> AggFunctionFromString(std::string_view name);
+
+/// Incremental scalar aggregator for one AGG function.
+class Aggregator {
+ public:
+  explicit Aggregator(AggFunction fn) : fn_(fn) {}
+
+  /// Feeds one value. COUNT accepts any value; the numeric functions
+  /// require numeric input.
+  Status Update(const Value& v);
+
+  /// The aggregate of everything fed so far. Empty input yields COUNT 0 and
+  /// null for the other functions.
+  Value Finish() const;
+
+  AggFunction function() const { return fn_; }
+
+ private:
+  AggFunction fn_;
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  bool has_minmax_ = false;
+  Value min_;
+  Value max_;
+  std::vector<Value> distinct_;  // Sorted on demand in Finish().
+};
+
+/// The aggregate operation γ_{f A(X)}(r) of Definition 7: groups `table` by
+/// the columns `group_by` (the X attributes) and aggregates column `agg_col`
+/// (the A attribute) with `fn`. The output schema is X ++ [output_name]
+/// where `output_name` defaults to "f(A)".
+///
+/// With an empty `group_by`, produces a single global row (the scalar
+/// aggregate), matching the relational convention.
+Result<FactTable> Aggregate(const FactTable& table,
+                            const std::vector<std::string>& group_by,
+                            AggFunction fn, const std::string& agg_col,
+                            const std::string& output_name = "");
+
+/// Scalar convenience: aggregates one column over the whole table.
+Result<Value> AggregateScalar(const FactTable& table, AggFunction fn,
+                              const std::string& agg_col);
+
+}  // namespace piet::olap
+
+#endif  // PIET_OLAP_AGGREGATE_H_

@@ -1,0 +1,108 @@
+#include "olap/cube.h"
+
+#include <algorithm>
+
+namespace piet::olap {
+
+Cube::Cube(FactTable base, std::vector<DimensionBinding> bindings)
+    : base_(std::move(base)), bindings_(std::move(bindings)) {}
+
+Result<const DimensionBinding*> Cube::FindBinding(
+    const std::string& column) const {
+  for (const DimensionBinding& b : bindings_) {
+    if (b.column == column) {
+      return &b;
+    }
+  }
+  return Status::NotFound("column '" + column + "' is not dimension-bound");
+}
+
+Status Cube::Validate() const {
+  for (const DimensionBinding& b : bindings_) {
+    PIET_ASSIGN_OR_RETURN(size_t idx, base_.ColumnIndex(b.column));
+    if (base_.columns()[idx].role != ColumnRole::kDimension) {
+      return Status::InvalidArgument("bound column '" + b.column +
+                                     "' is a measure");
+    }
+    if (!b.dimension) {
+      return Status::InvalidArgument("binding for '" + b.column +
+                                     "' has no dimension instance");
+    }
+    if (!b.dimension->schema().HasLevel(b.level)) {
+      return Status::InvalidArgument("no level '" + b.level +
+                                     "' in dimension '" +
+                                     b.dimension->schema().name() + "'");
+    }
+    for (const Row& r : base_.rows()) {
+      if (!b.dimension->HasMember(b.level, r[idx])) {
+        return Status::InvalidArgument(
+            "fact value " + r[idx].ToString() + " is not a member of level " +
+            b.level + " in dimension '" + b.dimension->schema().name() + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<FactTable> Cube::RollUp(const std::string& column,
+                               const std::string& target_level,
+                               AggFunction fn,
+                               const std::string& measure) const {
+  PIET_ASSIGN_OR_RETURN(const DimensionBinding* binding, FindBinding(column));
+  PIET_ASSIGN_OR_RETURN(size_t col_idx, base_.ColumnIndex(column));
+
+  // Build a rewritten table where `column` holds the target-level parent.
+  std::vector<ColumnDef> cols = base_.columns();
+  FactTable rewritten(cols);
+  for (const Row& r : base_.rows()) {
+    Row copy = r;
+    PIET_ASSIGN_OR_RETURN(
+        Value parent,
+        binding->dimension->RollupValue(binding->level, r[col_idx],
+                                        target_level));
+    copy[col_idx] = parent;
+    PIET_RETURN_NOT_OK(rewritten.Append(std::move(copy)));
+  }
+
+  // Group by all dimension columns, aggregate the measure.
+  std::vector<std::string> group_by;
+  for (const ColumnDef& c : cols) {
+    if (c.role == ColumnRole::kDimension && c.name != measure) {
+      group_by.push_back(c.name);
+    }
+  }
+  return Aggregate(rewritten, group_by, fn, measure);
+}
+
+Result<Cube> Cube::Slice(const std::string& column, const Value& member) const {
+  PIET_ASSIGN_OR_RETURN(size_t idx, base_.ColumnIndex(column));
+  FactTable filtered =
+      base_.Filter([&](const Row& r) { return r[idx] == member; });
+  // Drop the sliced column.
+  std::vector<std::string> keep;
+  for (const ColumnDef& c : filtered.columns()) {
+    if (c.name != column) {
+      keep.push_back(c.name);
+    }
+  }
+  PIET_ASSIGN_OR_RETURN(FactTable projected, filtered.Project(keep));
+  // Preserve column roles: Project keeps ColumnDef, so roles survive.
+  std::vector<DimensionBinding> bindings;
+  for (const DimensionBinding& b : bindings_) {
+    if (b.column != column) {
+      bindings.push_back(b);
+    }
+  }
+  return Cube(std::move(projected), std::move(bindings));
+}
+
+Result<Cube> Cube::Dice(const std::string& column,
+                        const std::vector<Value>& members) const {
+  PIET_ASSIGN_OR_RETURN(size_t idx, base_.ColumnIndex(column));
+  FactTable filtered = base_.Filter([&](const Row& r) {
+    return std::find(members.begin(), members.end(), r[idx]) != members.end();
+  });
+  return Cube(std::move(filtered), bindings_);
+}
+
+}  // namespace piet::olap

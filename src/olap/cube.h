@@ -1,0 +1,62 @@
+#ifndef PIET_OLAP_CUBE_H_
+#define PIET_OLAP_CUBE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "olap/aggregate.h"
+#include "olap/dimension.h"
+#include "olap/fact_table.h"
+
+namespace piet::olap {
+
+/// Binding of a fact-table dimension column to a dimension instance: the
+/// column's values are members of `level` in `dimension`.
+struct DimensionBinding {
+  std::string column;
+  std::shared_ptr<const DimensionInstance> dimension;
+  std::string level;
+};
+
+/// A data cube: a base fact table whose dimension columns are bound to
+/// dimension instances, supporting the usual OLAP operations. This realizes
+/// the application part of the paper's model: facts stored at dimension
+/// levels, aggregated along hierarchies.
+class Cube {
+ public:
+  Cube(FactTable base, std::vector<DimensionBinding> bindings);
+
+  const FactTable& base() const { return base_; }
+  const std::vector<DimensionBinding>& bindings() const { return bindings_; }
+
+  /// Validates that every bound column exists and all its values are
+  /// members of the bound level.
+  Status Validate() const;
+
+  /// ROLLUP: re-keys `column` at coarser `target_level` (through the bound
+  /// dimension's rollup functions), grouping all dimension columns and
+  /// aggregating `measure` with `fn`. Unbound dimension columns group by
+  /// their own value.
+  Result<FactTable> RollUp(const std::string& column,
+                           const std::string& target_level, AggFunction fn,
+                           const std::string& measure) const;
+
+  /// SLICE: fixes `column` == `member` and drops the column.
+  Result<Cube> Slice(const std::string& column, const Value& member) const;
+
+  /// DICE: keeps rows whose `column` value is in `members`.
+  Result<Cube> Dice(const std::string& column,
+                    const std::vector<Value>& members) const;
+
+ private:
+  Result<const DimensionBinding*> FindBinding(const std::string& column) const;
+
+  FactTable base_;
+  std::vector<DimensionBinding> bindings_;
+};
+
+}  // namespace piet::olap
+
+#endif  // PIET_OLAP_CUBE_H_

@@ -1,0 +1,134 @@
+#include "olap/fact_table.h"
+
+#include <set>
+#include <sstream>
+
+namespace piet::olap {
+
+FactTable::FactTable(std::vector<ColumnDef> columns)
+    : columns_(std::move(columns)) {}
+
+FactTable FactTable::Make(const std::vector<std::string>& dimension_columns,
+                          const std::vector<std::string>& measure_columns) {
+  std::vector<ColumnDef> cols;
+  cols.reserve(dimension_columns.size() + measure_columns.size());
+  for (const auto& name : dimension_columns) {
+    cols.push_back({name, ColumnRole::kDimension});
+  }
+  for (const auto& name : measure_columns) {
+    cols.push_back({name, ColumnRole::kMeasure});
+  }
+  return FactTable(std::move(cols));
+}
+
+Result<size_t> FactTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) {
+      return i;
+    }
+  }
+  return Status::NotFound("no column '" + name + "'");
+}
+
+Status FactTable::Append(Row row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(columns_.size()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+FactTable FactTable::Filter(const std::function<bool(const Row&)>& pred) const {
+  FactTable out(columns_);
+  for (const Row& r : rows_) {
+    if (pred(r)) {
+      out.rows_.push_back(r);
+    }
+  }
+  return out;
+}
+
+Result<FactTable> FactTable::Project(
+    const std::vector<std::string>& names) const {
+  std::vector<size_t> idx;
+  std::vector<ColumnDef> cols;
+  for (const std::string& n : names) {
+    PIET_ASSIGN_OR_RETURN(size_t i, ColumnIndex(n));
+    idx.push_back(i);
+    cols.push_back(columns_[i]);
+  }
+  FactTable out(std::move(cols));
+  for (const Row& r : rows_) {
+    Row pr;
+    pr.reserve(idx.size());
+    for (size_t i : idx) {
+      pr.push_back(r[i]);
+    }
+    out.rows_.push_back(std::move(pr));
+  }
+  return out;
+}
+
+Result<FactTable> FactTable::ProjectDistinct(
+    const std::vector<std::string>& names) const {
+  PIET_ASSIGN_OR_RETURN(FactTable bag, Project(names));
+  FactTable out(bag.columns_);
+  std::set<Row> seen;
+  for (Row& r : bag.rows_) {
+    if (seen.insert(r).second) {
+      out.rows_.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+Result<Value> FactTable::At(size_t row, const std::string& column) const {
+  if (row >= rows_.size()) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range");
+  }
+  PIET_ASSIGN_OR_RETURN(size_t i, ColumnIndex(column));
+  return rows_[row][i];
+}
+
+Result<std::vector<Value>> FactTable::DistinctValues(
+    const std::string& column) const {
+  PIET_ASSIGN_OR_RETURN(size_t i, ColumnIndex(column));
+  std::vector<Value> out;
+  std::set<Value> seen;
+  for (const Row& r : rows_) {
+    if (seen.insert(r[i]).second) {
+      out.push_back(r[i]);
+    }
+  }
+  return out;
+}
+
+std::string FactTable::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) {
+      os << " | ";
+    }
+    os << columns_[i].name;
+  }
+  os << "\n";
+  size_t shown = 0;
+  for (const Row& r : rows_) {
+    if (shown++ >= max_rows) {
+      os << "... (" << rows_.size() << " rows total)\n";
+      break;
+    }
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (i > 0) {
+        os << " | ";
+      }
+      os << r[i].ToString();
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace piet::olap

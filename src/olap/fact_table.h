@@ -1,0 +1,83 @@
+#ifndef PIET_OLAP_FACT_TABLE_H_
+#define PIET_OLAP_FACT_TABLE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace piet::olap {
+
+/// The role of a fact-table column.
+enum class ColumnRole {
+  kDimension = 0,  ///< A coordinate (dimension-level member or key).
+  kMeasure,        ///< A numeric measure.
+};
+
+/// A fact-table column description.
+struct ColumnDef {
+  std::string name;
+  ColumnRole role = ColumnRole::kDimension;
+};
+
+/// A row of Values, one per column.
+using Row = std::vector<Value>;
+
+/// A simple row-oriented relation with named columns, used for classical
+/// fact tables in the application part (Sec. 3) and for the intermediate
+/// relations produced by evaluating the region C (e.g. sets of (Oid, t)).
+class FactTable {
+ public:
+  FactTable() = default;
+  explicit FactTable(std::vector<ColumnDef> columns);
+
+  /// Convenience: all names are dimensions except those listed as measures.
+  static FactTable Make(const std::vector<std::string>& dimension_columns,
+                        const std::vector<std::string>& measure_columns);
+
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Index of the named column, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  bool HasColumn(const std::string& name) const {
+    return ColumnIndex(name).ok();
+  }
+
+  /// Appends a row; arity must match the schema.
+  Status Append(Row row);
+
+  /// Rows satisfying `pred` (by value).
+  FactTable Filter(const std::function<bool(const Row&)>& pred) const;
+
+  /// Projection onto named columns; duplicates retained (bag semantics).
+  Result<FactTable> Project(const std::vector<std::string>& names) const;
+
+  /// Projection with duplicate elimination (set semantics).
+  Result<FactTable> ProjectDistinct(const std::vector<std::string>& names) const;
+
+  /// Value at (row, named column).
+  Result<Value> At(size_t row, const std::string& column) const;
+
+  /// Distinct values of one column, in first-appearance order.
+  Result<std::vector<Value>> DistinctValues(const std::string& column) const;
+
+  /// Pretty table rendering for examples/benches.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace piet::olap
+
+#endif  // PIET_OLAP_FACT_TABLE_H_

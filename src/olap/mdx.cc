@@ -1,0 +1,378 @@
+#include "olap/mdx.h"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace piet::olap::mdx {
+
+namespace {
+
+/// Tokenizer for the bracket-heavy MDX surface.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    SkipSpace();
+    if (pos_ + kw.size() > text_.size()) {
+      return false;
+    }
+    if (!EqualsIgnoreCase(text_.substr(pos_, kw.size()), kw)) {
+      return false;
+    }
+    // Keyword boundary.
+    size_t end = pos_ + kw.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  /// `[name]` — returns the bracket content.
+  Result<std::string> ConsumeBracketed() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '[') {
+      return Status::ParseError("expected '[' at offset " +
+                                std::to_string(pos_));
+    }
+    size_t close = text_.find(']', pos_);
+    if (close == std::string_view::npos) {
+      return Status::ParseError("unterminated '[' at offset " +
+                                std::to_string(pos_));
+    }
+    std::string name(text_.substr(pos_ + 1, close - pos_ - 1));
+    pos_ = close + 1;
+    return name;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// Bracket contents that parse as numbers become numeric member values so
+// MDX can address int-keyed members.
+Value BracketToValue(const std::string& s) {
+  if (!s.empty()) {
+    double v = 0.0;
+    auto res = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (res.ec == std::errc() && res.ptr == s.data() + s.size()) {
+      return Value(v);
+    }
+  }
+  return Value(s);
+}
+
+Result<MemberRef> ParseMemberRef(Scanner* scan) {
+  MemberRef ref;
+  PIET_ASSIGN_OR_RETURN(std::string first, scan->ConsumeBracketed());
+  if (EqualsIgnoreCase(first, "Measures")) {
+    ref.is_measure = true;
+    if (!scan->ConsumeChar('.')) {
+      return Status::ParseError("expected '.' after [Measures]");
+    }
+    PIET_ASSIGN_OR_RETURN(ref.measure, scan->ConsumeBracketed());
+    return ref;
+  }
+  ref.dimension = first;
+  if (!scan->ConsumeChar('.')) {
+    return Status::ParseError("expected '.' after dimension name");
+  }
+  PIET_ASSIGN_OR_RETURN(ref.level, scan->ConsumeBracketed());
+  if (!scan->ConsumeChar('.')) {
+    return Status::ParseError("expected '.' after level name");
+  }
+  if (scan->ConsumeKeyword("Members")) {
+    ref.all_members = true;
+    return ref;
+  }
+  PIET_ASSIGN_OR_RETURN(std::string member, scan->ConsumeBracketed());
+  ref.member = BracketToValue(member);
+  return ref;
+}
+
+Result<std::vector<MemberRef>> ParseAxisSet(Scanner* scan) {
+  if (!scan->ConsumeChar('{')) {
+    return Status::ParseError("expected '{' opening an axis set");
+  }
+  std::vector<MemberRef> out;
+  while (true) {
+    PIET_ASSIGN_OR_RETURN(MemberRef ref, ParseMemberRef(scan));
+    out.push_back(std::move(ref));
+    if (scan->ConsumeChar(',')) {
+      continue;
+    }
+    if (scan->ConsumeChar('}')) {
+      break;
+    }
+    return Status::ParseError("expected ',' or '}' in axis set");
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<MdxQuery> ParseMdx(std::string_view text) {
+  Scanner scan(text);
+  MdxQuery query;
+  if (!scan.ConsumeKeyword("SELECT")) {
+    return Status::ParseError("expected SELECT");
+  }
+  PIET_ASSIGN_OR_RETURN(query.columns, ParseAxisSet(&scan));
+  if (!scan.ConsumeKeyword("ON")) {
+    return Status::ParseError("expected ON after axis set");
+  }
+  if (!scan.ConsumeKeyword("COLUMNS")) {
+    return Status::ParseError("first axis must be ON COLUMNS");
+  }
+  if (scan.ConsumeChar(',')) {
+    PIET_ASSIGN_OR_RETURN(query.rows, ParseAxisSet(&scan));
+    if (!scan.ConsumeKeyword("ON") || !scan.ConsumeKeyword("ROWS")) {
+      return Status::ParseError("second axis must be ON ROWS");
+    }
+  }
+  if (!scan.ConsumeKeyword("FROM")) {
+    return Status::ParseError("expected FROM");
+  }
+  PIET_ASSIGN_OR_RETURN(query.cube, scan.ConsumeBracketed());
+  if (scan.ConsumeKeyword("WHERE")) {
+    if (!scan.ConsumeChar('(')) {
+      return Status::ParseError("expected '(' after WHERE");
+    }
+    while (true) {
+      PIET_ASSIGN_OR_RETURN(MemberRef ref, ParseMemberRef(&scan));
+      if (ref.is_measure || ref.all_members) {
+        return Status::ParseError("slicer entries must be single members");
+      }
+      query.slicer.push_back(std::move(ref));
+      if (scan.ConsumeChar(',')) {
+        continue;
+      }
+      if (scan.ConsumeChar(')')) {
+        break;
+      }
+      return Status::ParseError("expected ',' or ')' in slicer");
+    }
+  }
+  if (!scan.AtEnd()) {
+    return Status::ParseError("trailing content after MDX query");
+  }
+  return query;
+}
+
+std::string MdxResult::ToString() const {
+  std::ostringstream os;
+  os << std::string(18, ' ');
+  for (const std::string& c : column_headers) {
+    os << " | " << c;
+  }
+  os << "\n";
+  for (size_t r = 0; r < row_headers.size(); ++r) {
+    os << row_headers[r];
+    if (row_headers[r].size() < 18) {
+      os << std::string(18 - row_headers[r].size(), ' ');
+    }
+    for (const Value& cell : cells[r]) {
+      os << " | " << cell.ToString();
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void MdxEngine::AddCube(const std::string& name, Cube cube) {
+  cubes_.erase(name);
+  cubes_.emplace(name, std::move(cube));
+}
+
+void MdxEngine::SetMeasureAggregate(const std::string& cube,
+                                    const std::string& measure,
+                                    AggFunction fn) {
+  measure_agg_[cube + "\x1f" + measure] = fn;
+}
+
+Result<std::vector<MemberRef>> MdxEngine::ExpandAxis(
+    const Cube& cube, const std::vector<MemberRef>& axis) const {
+  std::vector<MemberRef> out;
+  for (const MemberRef& ref : axis) {
+    if (!ref.all_members) {
+      out.push_back(ref);
+      continue;
+    }
+    // Find the binding whose dimension matches, list the level's members.
+    const DimensionBinding* binding = nullptr;
+    for (const DimensionBinding& b : cube.bindings()) {
+      if (b.dimension && b.dimension->schema().name() == ref.dimension) {
+        binding = &b;
+        break;
+      }
+    }
+    if (binding == nullptr) {
+      return Status::NotFound("no dimension '" + ref.dimension +
+                              "' bound in the cube");
+    }
+    PIET_ASSIGN_OR_RETURN(std::vector<Value> members,
+                          binding->dimension->Members(ref.level));
+    for (const Value& m : members) {
+      MemberRef concrete = ref;
+      concrete.all_members = false;
+      concrete.member = m;
+      out.push_back(std::move(concrete));
+    }
+  }
+  return out;
+}
+
+Result<bool> MdxEngine::RowMatches(const Cube& cube, const Row& row,
+                                   const MemberRef& coord) const {
+  if (coord.is_measure) {
+    return true;  // Measures do not constrain rows.
+  }
+  // Find the binding for the coordinate's dimension.
+  for (const DimensionBinding& b : cube.bindings()) {
+    if (!b.dimension || b.dimension->schema().name() != coord.dimension) {
+      continue;
+    }
+    PIET_ASSIGN_OR_RETURN(size_t idx, cube.base().ColumnIndex(b.column));
+    const Value& base_member = row[idx];
+    if (b.level == coord.level) {
+      return base_member == coord.member;
+    }
+    Result<Value> rolled =
+        b.dimension->RollupValue(b.level, base_member, coord.level);
+    if (!rolled.ok()) {
+      return false;  // Unmapped member: does not match.
+    }
+    return rolled.ValueOrDie() == coord.member;
+  }
+  return Status::NotFound("no dimension '" + coord.dimension +
+                          "' bound in the cube");
+}
+
+Result<MdxResult> MdxEngine::Execute(const MdxQuery& query) const {
+  auto it = cubes_.find(query.cube);
+  if (it == cubes_.end()) {
+    return Status::NotFound("no cube '" + query.cube + "'");
+  }
+  const Cube& cube = it->second;
+
+  PIET_ASSIGN_OR_RETURN(std::vector<MemberRef> columns,
+                        ExpandAxis(cube, query.columns));
+  PIET_ASSIGN_OR_RETURN(std::vector<MemberRef> rows,
+                        ExpandAxis(cube, query.rows));
+  if (rows.empty()) {
+    // Zero-dimensional rows axis: a single "(all)" row.
+    MemberRef all;
+    all.is_measure = true;  // Matches every row, headerless.
+    all.measure = "";
+    rows.push_back(all);
+  }
+
+  auto header_of = [](const MemberRef& ref) {
+    if (ref.is_measure) {
+      return ref.measure.empty() ? std::string("(all)") : ref.measure;
+    }
+    return ref.dimension + "." + ref.level + "." + ref.member.ToString();
+  };
+
+  MdxResult result;
+  for (const MemberRef& c : columns) {
+    result.column_headers.push_back(header_of(c));
+  }
+  for (const MemberRef& r : rows) {
+    result.row_headers.push_back(header_of(r));
+  }
+
+  // Pre-filter by the slicer.
+  std::vector<const Row*> candidate_rows;
+  for (const Row& row : cube.base().rows()) {
+    bool keep = true;
+    for (const MemberRef& s : query.slicer) {
+      PIET_ASSIGN_OR_RETURN(bool match, RowMatches(cube, row, s));
+      if (!match) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) {
+      candidate_rows.push_back(&row);
+    }
+  }
+
+  for (const MemberRef& row_coord : rows) {
+    std::vector<Value> out_row;
+    for (const MemberRef& col_coord : columns) {
+      // Exactly one of row/column should name the measure; if neither
+      // does, the cell is null.
+      const MemberRef* measure_ref = nullptr;
+      if (col_coord.is_measure && !col_coord.measure.empty()) {
+        measure_ref = &col_coord;
+      } else if (row_coord.is_measure && !row_coord.measure.empty()) {
+        measure_ref = &row_coord;
+      }
+      if (measure_ref == nullptr) {
+        out_row.push_back(Value());
+        continue;
+      }
+      auto agg_it =
+          measure_agg_.find(query.cube + "\x1f" + measure_ref->measure);
+      AggFunction fn =
+          agg_it != measure_agg_.end() ? agg_it->second : AggFunction::kSum;
+      Aggregator agg(fn);
+      PIET_ASSIGN_OR_RETURN(size_t measure_idx,
+                            cube.base().ColumnIndex(measure_ref->measure));
+      for (const Row* row : candidate_rows) {
+        PIET_ASSIGN_OR_RETURN(bool row_ok,
+                              RowMatches(cube, *row, row_coord));
+        if (!row_ok) {
+          continue;
+        }
+        PIET_ASSIGN_OR_RETURN(bool col_ok,
+                              RowMatches(cube, *row, col_coord));
+        if (!col_ok) {
+          continue;
+        }
+        PIET_RETURN_NOT_OK(agg.Update((*row)[measure_idx]));
+      }
+      out_row.push_back(agg.Finish());
+    }
+    result.cells.push_back(std::move(out_row));
+  }
+  return result;
+}
+
+Result<MdxResult> MdxEngine::ExecuteString(std::string_view text) const {
+  PIET_ASSIGN_OR_RETURN(MdxQuery query, ParseMdx(text));
+  return Execute(query);
+}
+
+}  // namespace piet::olap::mdx

@@ -1,0 +1,103 @@
+#ifndef PIET_OLAP_MDX_H_
+#define PIET_OLAP_MDX_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "olap/aggregate.h"
+#include "olap/cube.h"
+
+namespace piet::olap::mdx {
+
+/// A minimal MDX dialect for the application part — the paper's Piet-QL
+/// embeds "an MDX dialect" as its OLAP section; this module provides that
+/// surface over `olap::Cube`. Grammar (case-insensitive keywords,
+/// bracketed identifiers):
+///
+///   query   := SELECT axis ON COLUMNS [, axis ON ROWS] FROM [cube]
+///              [ WHERE slicer ]
+///   axis    := '{' member (',' member)* '}'
+///   member  := [Measures].[name]
+///            | [Dim].[level].Members          -- every member of the level
+///            | [Dim].[level].[member]         -- one member
+///   slicer  := '(' [Dim].[level].[member] (',' ...)* ')'
+///
+/// Cells aggregate the named measures over fact rows matching the row/
+/// column coordinates; coordinates at coarser levels than the fact grain
+/// are resolved through the dimension instances' rollup functions.
+///
+/// Example:
+///   SELECT {[Measures].[amount]} ON COLUMNS,
+///          {[Geo].[country].Members} ON ROWS
+///   FROM [Sales]
+///   WHERE ([Product].[category].[beer])
+
+/// One resolved member reference.
+struct MemberRef {
+  bool is_measure = false;
+  bool all_members = false;  ///< `.Members` form.
+  std::string dimension;     ///< Or "Measures".
+  std::string level;
+  Value member;              ///< Unset when all_members or is_measure-name.
+  std::string measure;       ///< For measures: the measure column.
+};
+
+/// A parsed MDX query.
+struct MdxQuery {
+  std::vector<MemberRef> columns;
+  std::vector<MemberRef> rows;
+  std::string cube;
+  std::vector<MemberRef> slicer;
+};
+
+/// Parses the textual form.
+Result<MdxQuery> ParseMdx(std::string_view text);
+
+/// The evaluated grid: row headers x column headers with scalar cells.
+struct MdxResult {
+  std::vector<std::string> column_headers;
+  std::vector<std::string> row_headers;
+  std::vector<std::vector<Value>> cells;  ///< cells[row][col].
+
+  std::string ToString() const;
+};
+
+/// Evaluates MDX against a registry of named cubes. Each measure uses the
+/// aggregate registered for it (default SUM).
+class MdxEngine {
+ public:
+  MdxEngine() = default;
+
+  /// Registers a cube under a name. The cube is copied.
+  void AddCube(const std::string& name, Cube cube);
+
+  /// Overrides the aggregate for a measure of a cube (default kSum).
+  void SetMeasureAggregate(const std::string& cube,
+                           const std::string& measure, AggFunction fn);
+
+  Result<MdxResult> Execute(const MdxQuery& query) const;
+  Result<MdxResult> ExecuteString(std::string_view text) const;
+
+ private:
+  /// Expands an axis spec into concrete coordinates (one per output
+  /// header). Measures expand to themselves.
+  Result<std::vector<MemberRef>> ExpandAxis(
+      const Cube& cube, const std::vector<MemberRef>& axis) const;
+
+  /// True if `row` (a base fact row) matches the member coordinate,
+  /// rolling up through the bound dimension when needed.
+  Result<bool> RowMatches(const Cube& cube, const Row& row,
+                          const MemberRef& coord) const;
+
+  std::map<std::string, Cube> cubes_;
+  std::map<std::string, AggFunction> measure_agg_;
+};
+
+}  // namespace piet::olap::mdx
+
+#endif  // PIET_OLAP_MDX_H_

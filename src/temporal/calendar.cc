@@ -1,0 +1,219 @@
+#include "temporal/calendar.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace piet::temporal {
+
+namespace {
+
+// Epoch 2000-01-01 was a Saturday.
+constexpr int kEpochDayOfWeek = 5;  // index of Saturday in our Monday-based enum
+
+// Days from the epoch (2000-01-01) to the first day of `year`.
+int64_t DaysToYear(int year) {
+  int64_t days = 0;
+  if (year >= 2000) {
+    for (int y = 2000; y < year; ++y) {
+      days += IsLeapYear(y) ? 366 : 365;
+    }
+  } else {
+    for (int y = year; y < 2000; ++y) {
+      days -= IsLeapYear(y) ? 366 : 365;
+    }
+  }
+  return days;
+}
+
+}  // namespace
+
+std::string_view DayOfWeekToString(DayOfWeek d) {
+  switch (d) {
+    case DayOfWeek::kMonday:
+      return "Monday";
+    case DayOfWeek::kTuesday:
+      return "Tuesday";
+    case DayOfWeek::kWednesday:
+      return "Wednesday";
+    case DayOfWeek::kThursday:
+      return "Thursday";
+    case DayOfWeek::kFriday:
+      return "Friday";
+    case DayOfWeek::kSaturday:
+      return "Saturday";
+    case DayOfWeek::kSunday:
+      return "Sunday";
+  }
+  return "Unknown";
+}
+
+std::string_view TimeOfDayToString(TimeOfDay t) {
+  switch (t) {
+    case TimeOfDay::kNight:
+      return "Night";
+    case TimeOfDay::kMorning:
+      return "Morning";
+    case TimeOfDay::kAfternoon:
+      return "Afternoon";
+    case TimeOfDay::kEvening:
+      return "Evening";
+  }
+  return "Unknown";
+}
+
+std::string_view TypeOfDayToString(TypeOfDay t) {
+  switch (t) {
+    case TypeOfDay::kWeekday:
+      return "Weekday";
+    case TypeOfDay::kWeekend:
+      return "Weekend";
+  }
+  return "Unknown";
+}
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) {
+    return 29;
+  }
+  return kDays[month - 1];
+}
+
+std::string CivilTime::ToString() const {
+  char buf[40];
+  int whole_second = static_cast<int>(second);
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", year, month,
+                day, hour, minute, whole_second);
+  return buf;
+}
+
+CivilTime ToCivil(TimePoint t) {
+  double day_count_d = std::floor(t.seconds / kDay);
+  int64_t day_count = static_cast<int64_t>(day_count_d);
+  double seconds_in_day = t.seconds - day_count_d * kDay;
+
+  CivilTime out;
+  // Find the year.
+  int year = 2000;
+  int64_t days = day_count;
+  while (days < 0) {
+    --year;
+    days += IsLeapYear(year) ? 366 : 365;
+  }
+  while (days >= (IsLeapYear(year) ? 366 : 365)) {
+    days -= IsLeapYear(year) ? 366 : 365;
+    ++year;
+  }
+  out.year = year;
+  // Find the month and day.
+  int month = 1;
+  while (days >= DaysInMonth(year, month)) {
+    days -= DaysInMonth(year, month);
+    ++month;
+  }
+  out.month = month;
+  out.day = static_cast<int>(days) + 1;
+
+  out.hour = static_cast<int>(seconds_in_day / kHour);
+  double rem = seconds_in_day - out.hour * kHour;
+  out.minute = static_cast<int>(rem / kMinute);
+  out.second = rem - out.minute * kMinute;
+  return out;
+}
+
+Result<TimePoint> FromCivil(const CivilTime& civil) {
+  if (civil.month < 1 || civil.month > 12) {
+    return Status::InvalidArgument("month out of range");
+  }
+  if (civil.day < 1 || civil.day > DaysInMonth(civil.year, civil.month)) {
+    return Status::InvalidArgument("day out of range");
+  }
+  if (civil.hour < 0 || civil.hour > 23 || civil.minute < 0 ||
+      civil.minute > 59 || civil.second < 0.0 || civil.second >= 60.0) {
+    return Status::InvalidArgument("time of day out of range");
+  }
+  int64_t days = DaysToYear(civil.year);
+  for (int m = 1; m < civil.month; ++m) {
+    days += DaysInMonth(civil.year, m);
+  }
+  days += civil.day - 1;
+  double seconds = static_cast<double>(days) * kDay + civil.hour * kHour +
+                   civil.minute * kMinute + civil.second;
+  return TimePoint(seconds);
+}
+
+Result<TimePoint> ParseTimePoint(std::string_view text) {
+  std::string s(Trim(text));
+  CivilTime civil;
+  int matched = std::sscanf(s.c_str(), "%d-%d-%d %d:%d:%lf", &civil.year,
+                            &civil.month, &civil.day, &civil.hour,
+                            &civil.minute, &civil.second);
+  if (matched < 3) {
+    return Status::ParseError("expected 'YYYY-MM-DD[ HH:MM[:SS]]', got '" + s +
+                              "'");
+  }
+  if (matched == 4) {
+    return Status::ParseError("minutes missing in '" + s + "'");
+  }
+  if (matched == 3) {
+    civil.hour = civil.minute = 0;
+    civil.second = 0.0;
+  } else if (matched == 5) {
+    civil.second = 0.0;
+  }
+  return FromCivil(civil);
+}
+
+DayOfWeek GetDayOfWeek(TimePoint t) {
+  int64_t day_count = static_cast<int64_t>(std::floor(t.seconds / kDay));
+  int64_t idx = (day_count + kEpochDayOfWeek) % 7;
+  if (idx < 0) {
+    idx += 7;
+  }
+  return static_cast<DayOfWeek>(idx);
+}
+
+int GetHourOfDay(TimePoint t) {
+  double day_frac = t.seconds - std::floor(t.seconds / kDay) * kDay;
+  return static_cast<int>(day_frac / kHour);
+}
+
+TimeOfDay GetTimeOfDay(TimePoint t) {
+  int hour = GetHourOfDay(t);
+  if (hour < 6) {
+    return TimeOfDay::kNight;
+  }
+  if (hour < 12) {
+    return TimeOfDay::kMorning;
+  }
+  if (hour < 18) {
+    return TimeOfDay::kAfternoon;
+  }
+  return TimeOfDay::kEvening;
+}
+
+TypeOfDay GetTypeOfDay(TimePoint t) {
+  DayOfWeek d = GetDayOfWeek(t);
+  return (d == DayOfWeek::kSaturday || d == DayOfWeek::kSunday)
+             ? TypeOfDay::kWeekend
+             : TypeOfDay::kWeekday;
+}
+
+TimePoint StartOfDay(TimePoint t) {
+  return TimePoint(std::floor(t.seconds / kDay) * kDay);
+}
+
+TimePoint StartOfHour(TimePoint t) {
+  return TimePoint(std::floor(t.seconds / kHour) * kHour);
+}
+
+std::string TimePoint::ToString() const { return ToCivil(*this).ToString(); }
+
+}  // namespace piet::temporal

@@ -1,0 +1,91 @@
+#ifndef PIET_TEMPORAL_CALENDAR_H_
+#define PIET_TEMPORAL_CALENDAR_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "temporal/time_point.h"
+
+namespace piet::temporal {
+
+/// Days of the week.
+enum class DayOfWeek {
+  kMonday = 0,
+  kTuesday,
+  kWednesday,
+  kThursday,
+  kFriday,
+  kSaturday,
+  kSunday,
+};
+
+std::string_view DayOfWeekToString(DayOfWeek d);
+
+/// The paper's `timeOfDay` category (rollup target of `hour`).
+enum class TimeOfDay {
+  kNight = 0,    ///< [00:00, 06:00)
+  kMorning,      ///< [06:00, 12:00)
+  kAfternoon,    ///< [12:00, 18:00)
+  kEvening,      ///< [18:00, 24:00)
+};
+
+std::string_view TimeOfDayToString(TimeOfDay t);
+
+/// The paper's `typeOfDay` category: Weekday / Weekend.
+enum class TypeOfDay {
+  kWeekday = 0,
+  kWeekend,
+};
+
+std::string_view TypeOfDayToString(TypeOfDay t);
+
+/// Broken-down civil time (proleptic Gregorian, no time zones or leap
+/// seconds — the model only needs consistent rollups, not UTC fidelity).
+struct CivilTime {
+  int year = 2000;
+  int month = 1;   ///< 1-12
+  int day = 1;     ///< 1-31
+  int hour = 0;    ///< 0-23
+  int minute = 0;  ///< 0-59
+  double second = 0.0;
+
+  std::string ToString() const;  ///< "YYYY-MM-DD HH:MM:SS"
+};
+
+/// True for leap years in the proleptic Gregorian calendar.
+bool IsLeapYear(int year);
+
+/// Days in the given month (1-12) of `year`.
+int DaysInMonth(int year, int month);
+
+/// Converts an instant to broken-down civil time.
+CivilTime ToCivil(TimePoint t);
+
+/// Converts civil time to an instant; validates field ranges.
+Result<TimePoint> FromCivil(const CivilTime& civil);
+
+/// Convenience constructor: "YYYY-MM-DD HH:MM[:SS]" or "YYYY-MM-DD".
+Result<TimePoint> ParseTimePoint(std::string_view text);
+
+/// Day of week of the instant.
+DayOfWeek GetDayOfWeek(TimePoint t);
+
+/// Hour-of-day of the instant (0-23).
+int GetHourOfDay(TimePoint t);
+
+/// The paper's timeOfDay rollup.
+TimeOfDay GetTimeOfDay(TimePoint t);
+
+/// The paper's typeOfDay rollup (Weekday / Weekend).
+TypeOfDay GetTypeOfDay(TimePoint t);
+
+/// Midnight at the start of the instant's civil day.
+TimePoint StartOfDay(TimePoint t);
+
+/// Start of the instant's civil hour.
+TimePoint StartOfHour(TimePoint t);
+
+}  // namespace piet::temporal
+
+#endif  // PIET_TEMPORAL_CALENDAR_H_

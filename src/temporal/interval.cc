@@ -1,0 +1,119 @@
+#include "temporal/interval.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace piet::temporal {
+
+std::string Interval::ToString() const {
+  std::ostringstream os;
+  os << "[" << begin.seconds << ", " << end.seconds << "]";
+  return os.str();
+}
+
+IntervalSet::IntervalSet(std::vector<Interval> intervals)
+    : intervals_(std::move(intervals)) {
+  Canonicalize();
+}
+
+void IntervalSet::Canonicalize() {
+  std::sort(intervals_.begin(), intervals_.end(),
+            [](const Interval& a, const Interval& b) {
+              if (a.begin != b.begin) {
+                return a.begin < b.begin;
+              }
+              return a.end < b.end;
+            });
+  std::vector<Interval> merged;
+  for (const Interval& iv : intervals_) {
+    if (iv.end < iv.begin) {
+      continue;  // Ignore malformed input defensively.
+    }
+    if (!merged.empty() && iv.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, iv.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  intervals_ = std::move(merged);
+}
+
+Duration IntervalSet::TotalLength() const {
+  Duration total = 0.0;
+  for (const Interval& iv : intervals_) {
+    total += iv.Length();
+  }
+  return total;
+}
+
+bool IntervalSet::Contains(TimePoint t) const {
+  // Binary search over sorted disjoint intervals.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](TimePoint v, const Interval& iv) { return v < iv.begin; });
+  if (it == intervals_.begin()) {
+    return false;
+  }
+  --it;
+  return it->Contains(t);
+}
+
+IntervalSet IntervalSet::Union(const IntervalSet& other) const {
+  std::vector<Interval> all = intervals_;
+  all.insert(all.end(), other.intervals_.begin(), other.intervals_.end());
+  return IntervalSet(std::move(all));
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
+  std::vector<Interval> out;
+  size_t i = 0, j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    const Interval& a = intervals_[i];
+    const Interval& b = other.intervals_[j];
+    TimePoint lo = std::max(a.begin, b.begin);
+    TimePoint hi = std::min(a.end, b.end);
+    if (lo <= hi) {
+      out.emplace_back(lo, hi);
+    }
+    if (a.end < b.end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return IntervalSet(std::move(out));
+}
+
+IntervalSet IntervalSet::Clip(const Interval& window) const {
+  return Intersect(IntervalSet({window}));
+}
+
+void IntervalSet::Add(const Interval& interval) {
+  intervals_.push_back(interval);
+  Canonicalize();
+}
+
+IntervalSet IntervalSet::WithoutPoints() const {
+  std::vector<Interval> out;
+  for (const Interval& iv : intervals_) {
+    if (!iv.IsPoint()) {
+      out.push_back(iv);
+    }
+  }
+  return IntervalSet(std::move(out));
+}
+
+std::string IntervalSet::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << intervals_[i].ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace piet::temporal

@@ -1,0 +1,82 @@
+#ifndef PIET_TEMPORAL_INTERVAL_H_
+#define PIET_TEMPORAL_INTERVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "temporal/time_point.h"
+
+namespace piet::temporal {
+
+/// A closed time interval [begin, end], begin <= end. Point intervals
+/// (begin == end) are allowed; they arise from grazing region contacts.
+struct Interval {
+  TimePoint begin;
+  TimePoint end;
+
+  Interval() = default;
+  Interval(TimePoint b, TimePoint e) : begin(b), end(e) {}
+
+  Duration Length() const { return end - begin; }
+  bool IsPoint() const { return begin == end; }
+
+  bool Contains(TimePoint t) const { return begin <= t && t <= end; }
+  bool Intersects(const Interval& o) const {
+    return begin <= o.end && o.begin <= end;
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+
+  std::string ToString() const;
+};
+
+/// A canonical union of disjoint, sorted, non-adjacent closed intervals.
+/// This is the value type of "the times object O was inside region C" — the
+/// temporal projection of the paper's spatio-temporal structure C for a
+/// fixed object.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  /// Builds from arbitrary intervals: sorts, merges overlaps and touching
+  /// endpoints (closed-set union).
+  explicit IntervalSet(std::vector<Interval> intervals);
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+  bool empty() const { return intervals_.empty(); }
+  size_t size() const { return intervals_.size(); }
+
+  /// Total measure (sum of lengths; point intervals contribute 0).
+  Duration TotalLength() const;
+
+  bool Contains(TimePoint t) const;
+
+  /// Set union.
+  IntervalSet Union(const IntervalSet& other) const;
+  /// Set intersection.
+  IntervalSet Intersect(const IntervalSet& other) const;
+  /// Intersection with a single interval (restriction).
+  IntervalSet Clip(const Interval& window) const;
+
+  /// Adds one interval, re-canonicalizing.
+  void Add(const Interval& interval);
+
+  /// Drops zero-length (point) intervals.
+  IntervalSet WithoutPoints() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const IntervalSet& a, const IntervalSet& b) {
+    return a.intervals_ == b.intervals_;
+  }
+
+ private:
+  void Canonicalize();
+
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace piet::temporal
+
+#endif  // PIET_TEMPORAL_INTERVAL_H_

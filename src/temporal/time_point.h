@@ -1,0 +1,58 @@
+#ifndef PIET_TEMPORAL_TIME_POINT_H_
+#define PIET_TEMPORAL_TIME_POINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace piet::temporal {
+
+/// A duration in seconds (double so interpolated instants are exact enough;
+/// the paper's samples carry rational timestamps).
+using Duration = double;
+
+/// An instant on the time line, measured in seconds since the epoch
+/// 2000-01-01 00:00:00 (a Saturday). Double-valued because linear
+/// interpolation between samples produces non-integer instants.
+struct TimePoint {
+  double seconds = 0.0;
+
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(double s) : seconds(s) {}
+
+  friend constexpr bool operator==(TimePoint a, TimePoint b) {
+    return a.seconds == b.seconds;
+  }
+  friend constexpr bool operator!=(TimePoint a, TimePoint b) {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(TimePoint a, TimePoint b) {
+    return a.seconds < b.seconds;
+  }
+  friend constexpr bool operator<=(TimePoint a, TimePoint b) {
+    return a.seconds <= b.seconds;
+  }
+  friend constexpr bool operator>(TimePoint a, TimePoint b) { return b < a; }
+  friend constexpr bool operator>=(TimePoint a, TimePoint b) { return b <= a; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint(t.seconds + d);
+  }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return TimePoint(t.seconds - d);
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return a.seconds - b.seconds;
+  }
+
+  std::string ToString() const;
+};
+
+inline constexpr Duration kSecond = 1.0;
+inline constexpr Duration kMinute = 60.0;
+inline constexpr Duration kHour = 3600.0;
+inline constexpr Duration kDay = 86400.0;
+inline constexpr Duration kWeek = 7.0 * kDay;
+
+}  // namespace piet::temporal
+
+#endif  // PIET_TEMPORAL_TIME_POINT_H_

@@ -1,0 +1,58 @@
+#ifndef PIET_WORKLOAD_CITY_H_
+#define PIET_WORKLOAD_CITY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/database.h"
+
+namespace piet::workload {
+
+/// Parameters of the synthetic city generator. The city is a grid partition
+/// of neighborhoods (optionally with L-shaped non-convex blocks to exercise
+/// the quadtree overlay), a street grid, schools/stores/stops as nodes, and
+/// a river polyline — the thematic layers of the paper's motivating example.
+struct CityConfig {
+  uint64_t seed = 42;
+  int grid_cols = 8;
+  int grid_rows = 8;
+  double cell_size = 100.0;
+  /// Fraction of neighborhoods drawing a low (< 1500) income.
+  double low_income_fraction = 0.3;
+  /// Fraction of 2x2 blocks replaced by an L-shaped + square pair
+  /// (non-convex; forces the quadtree overlay). 0 keeps all cells convex.
+  double nonconvex_fraction = 0.0;
+  int num_schools = 16;
+  int num_stores = 24;
+  int num_stops = 12;
+  /// Street grid lines per axis (>= 2).
+  int streets_per_axis = 5;
+  bool with_river = true;
+};
+
+/// A generated city: a ready GeoOlapDatabase (no MOFTs yet) plus layer
+/// names and handy metadata.
+struct City {
+  std::unique_ptr<core::GeoOlapDatabase> db;
+
+  std::string neighborhoods_layer = "neighborhoods";
+  std::string streets_layer = "streets";
+  std::string schools_layer = "schools";
+  std::string stores_layer = "stores";
+  std::string stops_layer = "stops";
+  std::string rivers_layer = "rivers";
+
+  geometry::BoundingBox extent;
+  int num_neighborhoods = 0;
+  double income_threshold = 1500.0;
+};
+
+/// Generates a deterministic synthetic city.
+Result<City> GenerateCity(const CityConfig& config);
+
+}  // namespace piet::workload
+
+#endif  // PIET_WORKLOAD_CITY_H_

@@ -1,0 +1,196 @@
+#include "workload/scenario.h"
+
+#include <vector>
+
+#include "temporal/calendar.h"
+
+namespace piet::workload {
+
+using geometry::MakeRectangle;
+using geometry::Point;
+using geometry::Polyline;
+using gis::GeometryGraph;
+using gis::GeometryId;
+using gis::GeometryKind;
+using gis::GisDimensionInstance;
+using gis::GisDimensionSchema;
+using gis::Layer;
+using moving::ObjectId;
+using temporal::TimePoint;
+
+gis::GisDimensionSchema BuildFigure2Schema() {
+  GisDimensionSchema schema;
+  (void)schema.AddLayerGraph("Ln", GeometryGraph::PolygonLayerGraph());
+  (void)schema.AddLayerGraph("Lr", GeometryGraph::PolylineLayerGraph());
+  (void)schema.AddLayerGraph("Ls", GeometryGraph::NodeLayerGraph());
+  (void)schema.AddLayerGraph("Lst", GeometryGraph::PolylineLayerGraph());
+
+  // Att bindings of Example 2: neighborhood -> (polygon, Ln),
+  // river -> (polyline, Lr), school -> (node, Ls), street -> (polyline, Lst).
+  (void)schema.AddAttribute("neighborhood", GeometryKind::kPolygon, "Ln");
+  (void)schema.AddAttribute("river", GeometryKind::kPolyline, "Lr");
+  (void)schema.AddAttribute("school", GeometryKind::kNode, "Ls");
+  (void)schema.AddAttribute("street", GeometryKind::kPolyline, "Lst");
+
+  // Application dimensions: Neighbourhoods (neighborhood -> city -> All)
+  // and Rivers (river -> All).
+  olap::DimensionSchema neighbourhoods("Neighbourhoods", "neighborhood");
+  (void)neighbourhoods.AddEdge("neighborhood", "city");
+  (void)neighbourhoods.AddEdge("city", olap::DimensionSchema::kAll);
+  (void)schema.AddApplicationDimension(std::move(neighbourhoods));
+
+  olap::DimensionSchema rivers("Rivers", "river");
+  (void)rivers.AddEdge("river", olap::DimensionSchema::kAll);
+  (void)schema.AddApplicationDimension(std::move(rivers));
+
+  return schema;
+}
+
+namespace {
+
+// Instant of hour `h` (0-23) on day `day_offset` days after the base
+// Monday 2006-01-02.
+Result<TimePoint> HourOn(int day_offset, double h) {
+  temporal::CivilTime base;
+  base.year = 2006;
+  base.month = 1;
+  base.day = 2;  // A Monday.
+  PIET_ASSIGN_OR_RETURN(TimePoint day0, temporal::FromCivil(base));
+  return TimePoint(day0.seconds + day_offset * temporal::kDay +
+                   h * temporal::kHour);
+}
+
+// Sample time mapping of Table 1: t = 1..6 maps to hours 5..10, so t=1 is
+// night and t=2..6 are morning — giving Remark 1's three qualifying hours.
+Result<TimePoint> TableTime(int day_offset, int t) {
+  return HourOn(day_offset, 4.0 + t);
+}
+
+}  // namespace
+
+Result<Figure1Scenario> BuildFigure1Scenario(int replication) {
+  if (replication < 1) {
+    return Status::InvalidArgument("replication must be >= 1");
+  }
+  Figure1Scenario scenario;
+
+  GisDimensionSchema schema = BuildFigure2Schema();
+  GisDimensionInstance gis(std::move(schema));
+
+  // --- Neighborhood layer Ln: a 3x2 grid partition of [0,120]x[0,80]. ---
+  // N1 = [40,80]x[0,40] is the shaded low-income region of Figure 1.
+  auto ln = std::make_shared<Layer>("Ln", GeometryKind::kPolygon);
+  struct Cell {
+    double x0, y0, x1, y1;
+    double income;
+    const char* name;
+  };
+  const Cell kCells[] = {
+      {0, 0, 40, 40, 2200, "N0"},    {40, 0, 80, 40, 1200, "N1"},
+      {80, 0, 120, 40, 2500, "N2"},  {0, 40, 40, 80, 1900, "N3"},
+      {40, 40, 80, 80, 2100, "N4"},  {80, 40, 120, 80, 2700, "N5"},
+  };
+  std::vector<GeometryId> cell_ids;
+  for (const Cell& c : kCells) {
+    PIET_ASSIGN_OR_RETURN(
+        GeometryId id, ln->AddPolygon(MakeRectangle(c.x0, c.y0, c.x1, c.y1)));
+    PIET_RETURN_NOT_OK(ln->SetAttribute(id, "income", Value(c.income)));
+    PIET_RETURN_NOT_OK(ln->SetAttribute(id, "name", Value(c.name)));
+    PIET_RETURN_NOT_OK(
+        ln->SetAttribute(id, "population", Value(30000.0 + 10000.0 * id)));
+    cell_ids.push_back(id);
+  }
+  scenario.low_income_neighborhood = cell_ids[1];
+
+  // --- River layer Lr: a polyline dividing north (y>40) from south. ---
+  auto lr = std::make_shared<Layer>("Lr", GeometryKind::kPolyline);
+  PIET_ASSIGN_OR_RETURN(
+      GeometryId river_id,
+      lr->AddPolyline(Polyline({Point(0, 40), Point(60, 41), Point(120, 40)})));
+  PIET_RETURN_NOT_OK(lr->SetAttribute(river_id, "name", Value("Scheldt")));
+
+  // --- School layer Ls: three schools. ---
+  auto ls = std::make_shared<Layer>("Ls", GeometryKind::kNode);
+  PIET_ASSIGN_OR_RETURN(GeometryId school0, ls->AddPoint(Point(20, 20)));
+  PIET_ASSIGN_OR_RETURN(GeometryId school1, ls->AddPoint(Point(70, 25)));
+  PIET_ASSIGN_OR_RETURN(GeometryId school2, ls->AddPoint(Point(100, 60)));
+  (void)school1;
+  (void)school2;
+
+  // --- Street layer Lst: two horizontal + two vertical streets. ---
+  auto lst = std::make_shared<Layer>("Lst", GeometryKind::kPolyline);
+  PIET_ASSIGN_OR_RETURN(
+      GeometryId street0,
+      lst->AddPolyline(Polyline({Point(0, 20), Point(120, 20)})));
+  PIET_ASSIGN_OR_RETURN(
+      GeometryId street1,
+      lst->AddPolyline(Polyline({Point(0, 60), Point(120, 60)})));
+  PIET_ASSIGN_OR_RETURN(
+      GeometryId street2,
+      lst->AddPolyline(Polyline({Point(20, 0), Point(20, 80)})));
+  PIET_ASSIGN_OR_RETURN(
+      GeometryId street3,
+      lst->AddPolyline(Polyline({Point(100, 0), Point(100, 80)})));
+  (void)street1;
+  (void)street2;
+  (void)street3;
+  (void)street0;
+
+  PIET_RETURN_NOT_OK(gis.AddLayer(ln));
+  PIET_RETURN_NOT_OK(gis.AddLayer(lr));
+  PIET_RETURN_NOT_OK(gis.AddLayer(ls));
+  PIET_RETURN_NOT_OK(gis.AddLayer(lst));
+
+  // α bindings: neighborhood members -> polygons; river member; schools.
+  for (size_t i = 0; i < cell_ids.size(); ++i) {
+    PIET_RETURN_NOT_OK(
+        gis.BindAlpha("neighborhood", Value(kCells[i].name), cell_ids[i]));
+  }
+  PIET_RETURN_NOT_OK(gis.BindAlpha("river", Value("Scheldt"), river_id));
+  PIET_RETURN_NOT_OK(gis.BindAlpha("school", Value("S0"), school0));
+
+  // Application dimension instance: neighborhoods roll up to "Antwerp".
+  {
+    PIET_ASSIGN_OR_RETURN(
+        const olap::DimensionSchema* nb_schema,
+        gis.schema().ApplicationDimension("Neighbourhoods"));
+    olap::DimensionInstance nb(*nb_schema);
+    for (const Cell& c : kCells) {
+      PIET_RETURN_NOT_OK(
+          nb.AddRollup("neighborhood", Value(c.name), "city",
+                       Value("Antwerp")));
+    }
+    PIET_RETURN_NOT_OK(gis.AddApplicationInstance(std::move(nb)));
+  }
+
+  scenario.db = std::make_unique<core::GeoOlapDatabase>(std::move(gis));
+
+  // --- The MOFT FMbus (Table 1), replicated across days. ---
+  moving::Moft moft;
+  struct Obs {
+    int bus;  // 1..6
+    int t;    // Table 1 sample index.
+    double x, y;
+  };
+  // Positions realize the Figure 1 topology on the grid above.
+  const Obs kTable1[] = {
+      {1, 1, 50, 10}, {1, 2, 60, 15}, {1, 3, 70, 20}, {1, 4, 50, 30},
+      {2, 2, 20, 20}, {2, 3, 60, 20}, {2, 4, 100, 20},
+      {3, 5, 20, 60},
+      {4, 6, 100, 60},
+      {5, 3, 60, 60},
+      {6, 2, 30, 50}, {6, 3, 90, 30},
+  };
+  for (int day = 0; day < replication; ++day) {
+    for (const Obs& obs : kTable1) {
+      ObjectId oid = static_cast<ObjectId>(day * 6 + obs.bus);
+      PIET_ASSIGN_OR_RETURN(TimePoint t, TableTime(day, obs.t));
+      PIET_RETURN_NOT_OK(moft.Add(oid, t, Point(obs.x, obs.y)));
+    }
+  }
+  PIET_RETURN_NOT_OK(scenario.db->AddMoft(scenario.moft_name, std::move(moft)));
+
+  return scenario;
+}
+
+}  // namespace piet::workload

@@ -1,0 +1,43 @@
+#ifndef PIET_WORKLOAD_TRAJECTORIES_H_
+#define PIET_WORKLOAD_TRAJECTORIES_H_
+
+#include "common/random.h"
+#include "common/result.h"
+#include "moving/moft.h"
+#include "workload/city.h"
+
+namespace piet::workload {
+
+/// Movement models for the synthetic trajectory generator.
+enum class MovementModel {
+  /// Straight legs toward uniformly random waypoints.
+  kRandomWaypoint = 0,
+  /// Movement snapped to the street grid (Manhattan-style walks).
+  kStreetNetwork,
+  /// Home -> work in the morning, work -> home in the evening, idle
+  /// otherwise; homes biased toward low-income cells, work toward high.
+  kCommuter,
+};
+
+/// Parameters for trajectory generation. Time runs from `start` for
+/// `duration` seconds; positions are observed every `sample_period` seconds
+/// with optional GPS-style jitter — exactly the finite-sample regime the
+/// paper's MOFT models.
+struct TrajectoryConfig {
+  uint64_t seed = 7;
+  int num_objects = 100;
+  temporal::TimePoint start;        ///< Defaults to epoch (2000-01-01).
+  double duration = 4.0 * 3600.0;   ///< Seconds of simulated movement.
+  double sample_period = 60.0;      ///< Seconds between observations.
+  double speed = 10.0;              ///< Units per second.
+  double jitter = 0.0;              ///< Uniform observation noise amplitude.
+  MovementModel model = MovementModel::kRandomWaypoint;
+};
+
+/// Generates a MOFT of sampled trajectories over the city.
+Result<moving::Moft> GenerateTrajectories(const City& city,
+                                          const TrajectoryConfig& config);
+
+}  // namespace piet::workload
+
+#endif  // PIET_WORKLOAD_TRAJECTORIES_H_

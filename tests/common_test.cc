@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/value.h"
+
+namespace piet {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad input");
+}
+
+TEST(StatusTest, AllConstructorsSetCodes) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::NotFound("thing").WithContext("loading config");
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "loading config: thing");
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+TEST(StatusTest, CopyShares) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_EQ(b.message(), "boom");
+  EXPECT_TRUE(b.IsInternal());
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) {
+    return Status::InvalidArgument("not positive");
+  }
+  return v;
+}
+
+Result<int> Doubler(int v) {
+  PIET_ASSIGN_OR_RETURN(int checked, ParsePositive(v));
+  return checked * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubler(21).ValueOrDie(), 42);
+  EXPECT_TRUE(Doubler(-1).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(int64_t{3}).is_int());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(3).is_numeric());
+  EXPECT_TRUE(Value(3.0).is_numeric());
+  EXPECT_FALSE(Value("x").is_numeric());
+}
+
+TEST(ValueTest, NumericCoercion) {
+  EXPECT_DOUBLE_EQ(Value(3).AsNumeric().ValueOrDie(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsNumeric().ValueOrDie(), 2.5);
+  EXPECT_TRUE(Value("s").AsNumeric().status().IsTypeError());
+  EXPECT_TRUE(Value(2.5).AsInt().status().IsTypeError());
+}
+
+TEST(ValueTest, MixedNumericEquality) {
+  EXPECT_EQ(Value(3), Value(3.0));
+  EXPECT_NE(Value(3), Value(3.5));
+  EXPECT_LT(Value(2), Value(2.5));
+  ValueHash h;
+  EXPECT_EQ(h(Value(3)), h(Value(3.0)));
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_FALSE(Value(2) < Value(1));
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value(7).ToString(), "7");
+  EXPECT_EQ(Value("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value(true).ToString(), "true");
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, SeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformDoubleRange) {
+  Random rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RandomTest, UniformIntInclusive) {
+  Random rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(1, 6);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Random rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(StringUtilTest, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StringUtilTest, Case) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+}
+
+TEST(StringUtilTest, PrefixSuffixJoin) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace piet

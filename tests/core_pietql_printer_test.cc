@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/pietql/parser.h"
+#include "core/pietql/printer.h"
+
+namespace piet::core::pietql {
+namespace {
+
+bool SameValue(const Value& a, const Value& b) { return a == b; }
+
+bool SameGeo(const GeoQuery& a, const GeoQuery& b) {
+  if (a.schema != b.schema || a.select.size() != b.select.size() ||
+      a.where.size() != b.where.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.select.size(); ++i) {
+    if (a.select[i].name != b.select[i].name) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.where.size(); ++i) {
+    const GeoCondition& x = a.where[i];
+    const GeoCondition& y = b.where[i];
+    if (x.kind != y.kind || x.a.name != y.a.name || x.b.name != y.b.name ||
+        x.attribute != y.attribute || x.op != y.op ||
+        !SameValue(x.literal, y.literal)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameMo(const MoQuery& a, const MoQuery& b) {
+  if (a.agg.kind != b.agg.kind || a.moft != b.moft ||
+      a.where.size() != b.where.size() ||
+      a.group_by_level != b.group_by_level) {
+    return false;
+  }
+  for (size_t i = 0; i < a.where.size(); ++i) {
+    const MoCondition& x = a.where[i];
+    const MoCondition& y = b.where[i];
+    if (x.kind != y.kind || x.time_level != y.time_level ||
+        !SameValue(x.literal, y.literal) || x.t0 != y.t0 || x.t1 != y.t1 ||
+        x.near_layer != y.near_layer || x.radius != y.radius) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameQuery(const Query& a, const Query& b) {
+  if (a.mo.has_value() != b.mo.has_value()) {
+    return false;
+  }
+  if (!SameGeo(a.geo, b.geo)) {
+    return false;
+  }
+  return !a.mo || SameMo(*a.mo, *b.mo);
+}
+
+TEST(PietQlPrinterTest, CanonicalForms) {
+  Query q;
+  q.geo.select = {{"Ln"}, {"Lr"}};
+  q.geo.schema = "PietSchema";
+  GeoCondition attr;
+  attr.kind = GeoCondition::Kind::kAttrCompare;
+  attr.a = {"Ln"};
+  attr.attribute = "income";
+  attr.op = CompareOp::kLt;
+  attr.literal = Value(1500.0);
+  q.geo.where.push_back(attr);
+
+  MoQuery mo;
+  mo.agg.kind = MoAggregate::Kind::kRatePerHour;
+  mo.moft = "FMbus";
+  MoCondition inside;
+  inside.kind = MoCondition::Kind::kInsideResult;
+  mo.where.push_back(inside);
+  MoCondition tod;
+  tod.kind = MoCondition::Kind::kTimeEquals;
+  tod.time_level = "timeOfDay";
+  tod.literal = Value("Morning");
+  mo.where.push_back(tod);
+  mo.group_by_level = "hour";
+  q.mo = mo;
+
+  std::string text = Print(q);
+  EXPECT_EQ(text,
+            "SELECT layer.Ln, layer.Lr; FROM PietSchema; "
+            "WHERE ATTR(layer.Ln, income) < 1500 | "
+            "SELECT RATE PER HOUR FROM FMbus WHERE INSIDE RESULT AND "
+            "TIME.timeOfDay = 'Morning' GROUP BY TIME.hour");
+
+  auto reparsed = Parse(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_TRUE(SameQuery(q, reparsed.ValueOrDie()));
+}
+
+// Property: print-parse round trip over randomized ASTs.
+class PietQlRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PietQlRoundTrip, PrintParseIsIdentity) {
+  Random rng(6000 + GetParam());
+  auto random_ident = [&](const char* prefix) {
+    return std::string(prefix) + std::to_string(rng.UniformInt(0, 9));
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    Query q;
+    int nselect = static_cast<int>(rng.UniformInt(1, 3));
+    for (int i = 0; i < nselect; ++i) {
+      q.geo.select.push_back({random_ident("L")});
+    }
+    q.geo.schema = random_ident("S");
+    int nconds = static_cast<int>(rng.UniformInt(0, 3));
+    for (int i = 0; i < nconds; ++i) {
+      GeoCondition cond;
+      switch (rng.UniformInt(0, 2)) {
+        case 0:
+          cond.kind = GeoCondition::Kind::kIntersection;
+          cond.a = q.geo.select.front();
+          cond.b = {random_ident("L")};
+          break;
+        case 1:
+          cond.kind = GeoCondition::Kind::kContains;
+          cond.a = q.geo.select.front();
+          cond.b = {random_ident("L")};
+          break;
+        default:
+          cond.kind = GeoCondition::Kind::kAttrCompare;
+          cond.a = q.geo.select.front();
+          cond.attribute = random_ident("attr");
+          cond.op = static_cast<CompareOp>(rng.UniformInt(0, 4));
+          cond.literal = rng.Bernoulli(0.5)
+                             ? Value(static_cast<double>(
+                                   rng.UniformInt(0, 5000)))
+                             : Value(random_ident("val"));
+      }
+      q.geo.where.push_back(std::move(cond));
+    }
+    if (rng.Bernoulli(0.7)) {
+      MoQuery mo;
+      mo.agg.kind = static_cast<MoAggregate::Kind>(rng.UniformInt(0, 2));
+      mo.moft = random_ident("M");
+      int nmo = static_cast<int>(rng.UniformInt(0, 2));
+      bool spatial_used = false;
+      for (int i = 0; i < nmo; ++i) {
+        MoCondition cond;
+        switch (rng.UniformInt(spatial_used ? 2 : 0, 4)) {
+          case 0:
+            cond.kind = MoCondition::Kind::kInsideResult;
+            spatial_used = true;
+            break;
+          case 1:
+            cond.kind = MoCondition::Kind::kPassesThroughResult;
+            spatial_used = true;
+            break;
+          case 2:
+            cond.kind = MoCondition::Kind::kTimeEquals;
+            cond.time_level = random_ident("level");
+            cond.literal = Value(random_ident("member"));
+            break;
+          case 3:
+            cond.kind = MoCondition::Kind::kTimeBetween;
+            cond.t0 = static_cast<double>(rng.UniformInt(0, 1000));
+            cond.t1 = cond.t0 + static_cast<double>(rng.UniformInt(1, 1000));
+            break;
+          default:
+            cond.kind = MoCondition::Kind::kNearLayer;
+            cond.near_layer = random_ident("L");
+            cond.radius = static_cast<double>(rng.UniformInt(1, 100));
+            spatial_used = true;
+        }
+        mo.where.push_back(std::move(cond));
+      }
+      if (rng.Bernoulli(0.5)) {
+        mo.group_by_level = random_ident("level");
+      }
+      q.mo = std::move(mo);
+    }
+
+    std::string text = Print(q);
+    auto reparsed = Parse(text);
+    ASSERT_TRUE(reparsed.ok())
+        << reparsed.status().ToString() << "\n  text: " << text;
+    EXPECT_TRUE(SameQuery(q, reparsed.ValueOrDie())) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PietQlRoundTrip, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace piet::core::pietql

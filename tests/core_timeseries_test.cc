@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/timeseries.h"
+#include "workload/scenario.h"
+
+namespace piet::core {
+namespace {
+
+using olap::FactTable;
+
+FactTable EventsAt(std::vector<std::pair<int64_t, double>> rows) {
+  FactTable t = FactTable::Make({"Oid", "t"}, {});
+  for (const auto& [oid, time] : rows) {
+    EXPECT_TRUE(t.Append({Value(oid), Value(time)}).ok());
+  }
+  return t;
+}
+
+TEST(EventCountSeriesTest, BucketsAndGaps) {
+  FactTable events = EventsAt({{1, 5.0}, {1, 15.0}, {2, 18.0}, {1, 45.0}});
+  auto series = EventCountSeries(events, "t", 10.0).ValueOrDie();
+  // Buckets 0,1,2,3,4 -> counts 1,2,0,0,1 (gap-free).
+  ASSERT_EQ(series.num_rows(), 5u);
+  EXPECT_EQ(series.row(0)[1], Value(int64_t{1}));
+  EXPECT_EQ(series.row(1)[1], Value(int64_t{2}));
+  EXPECT_EQ(series.row(2)[1], Value(int64_t{0}));
+  EXPECT_EQ(series.row(3)[1], Value(int64_t{0}));
+  EXPECT_EQ(series.row(4)[1], Value(int64_t{1}));
+  EXPECT_EQ(series.row(0)[0], Value(0.0));
+  EXPECT_EQ(series.row(4)[0], Value(40.0));
+}
+
+TEST(EventCountSeriesTest, DistinctColumn) {
+  FactTable events = EventsAt({{1, 5.0}, {1, 6.0}, {2, 7.0}});
+  auto raw = EventCountSeries(events, "t", 10.0).ValueOrDie();
+  EXPECT_EQ(raw.row(0)[1], Value(int64_t{3}));
+  auto distinct = EventCountSeries(events, "t", 10.0, "Oid").ValueOrDie();
+  EXPECT_EQ(distinct.row(0)[1], Value(int64_t{2}));
+}
+
+TEST(EventCountSeriesTest, Validation) {
+  FactTable events = EventsAt({});
+  EXPECT_TRUE(
+      EventCountSeries(events, "t", 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      EventCountSeries(events, "ghost", 10.0).status().IsNotFound());
+  EXPECT_EQ(EventCountSeries(events, "t", 10.0).ValueOrDie().num_rows(), 0u);
+}
+
+FactTable Intervals(std::vector<std::pair<double, double>> rows) {
+  FactTable t = FactTable::Make({"Oid", "enter", "leave"}, {});
+  int64_t oid = 1;
+  for (const auto& [enter, leave] : rows) {
+    EXPECT_TRUE(t.Append({Value(oid++), Value(enter), Value(leave)}).ok());
+  }
+  return t;
+}
+
+TEST(OccupancySeriesTest, PeaksPerBucket) {
+  // Two overlapping stays in bucket 0, one lone stay in bucket 2.
+  FactTable intervals = Intervals({{1, 8}, {4, 9}, {25, 28}});
+  auto series =
+      OccupancySeries(intervals, "enter", "leave", 10.0).ValueOrDie();
+  ASSERT_EQ(series.num_rows(), 3u);
+  EXPECT_EQ(series.row(0)[1], Value(int64_t{2}));  // Overlap 4-8.
+  EXPECT_EQ(series.row(1)[1], Value(int64_t{0}));  // Empty bucket.
+  EXPECT_EQ(series.row(2)[1], Value(int64_t{1}));
+}
+
+TEST(OccupancySeriesTest, CarriedOccupancyAcrossBuckets) {
+  // One long stay spanning buckets 0-2: every bucket sees occupancy 1.
+  FactTable intervals = Intervals({{5, 25}});
+  auto series =
+      OccupancySeries(intervals, "enter", "leave", 10.0).ValueOrDie();
+  ASSERT_EQ(series.num_rows(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(series.row(i)[1], Value(int64_t{1})) << i;
+  }
+}
+
+TEST(OccupancySeriesTest, ClosedIntervalTouch) {
+  // Leave at 10 and enter at 10: both present at the shared instant.
+  FactTable intervals = Intervals({{0, 10}, {10, 20}});
+  auto peak = FindPeakOccupancy(intervals, "enter", "leave").ValueOrDie();
+  EXPECT_EQ(peak.peak, 2);
+  EXPECT_DOUBLE_EQ(peak.at_seconds, 10.0);
+}
+
+TEST(OccupancySeriesTest, Validation) {
+  FactTable bad = Intervals({{10, 5}});
+  EXPECT_TRUE(OccupancySeries(bad, "enter", "leave", 10.0)
+                  .status()
+                  .IsInvalidArgument());
+  FactTable empty = Intervals({});
+  EXPECT_EQ(OccupancySeries(empty, "enter", "leave", 10.0)
+                .ValueOrDie()
+                .num_rows(),
+            0u);
+  EXPECT_EQ(FindPeakOccupancy(empty, "enter", "leave").ValueOrDie().peak, 0);
+}
+
+TEST(OccupancySeriesTest, EndToEndWithTrajectoryRegion) {
+  // Figure 1: occupancy of the low-income region over the bus day.
+  auto scenario = workload::BuildFigure1Scenario().ValueOrDie();
+  QueryEngine engine(scenario.db.get());
+  auto intervals =
+      engine.TrajectoryRegion(
+                scenario.moft_name, scenario.neighborhoods_layer,
+                GeometryPredicate::AttributeLess("income", 1500.0),
+                TimePredicate())
+          .ValueOrDie();
+  auto peak = FindPeakOccupancy(intervals, "enter", "leave").ValueOrDie();
+  // O1 occupies N1 the whole time; O2 and O6 overlap it around 07:00.
+  EXPECT_GE(peak.peak, 2);
+  auto series =
+      OccupancySeries(intervals, "enter", "leave", 3600.0).ValueOrDie();
+  EXPECT_GE(series.num_rows(), 3u);
+}
+
+TEST(MoftWindowTest, SamplesBetween) {
+  auto scenario = workload::BuildFigure1Scenario().ValueOrDie();
+  auto moft = scenario.db->GetMoft("FMbus").ValueOrDie();
+  auto span = moft->TimeSpan().ValueOrDie();
+  // Whole window: everything.
+  EXPECT_EQ(moft->SamplesBetween(span.begin, span.end).size(), 12u);
+  // Window covering only the first sample instant (t=1 -> 05:00).
+  auto first = moft->SamplesBetween(span.begin, span.begin);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].oid, 1);
+  // Empty window before everything.
+  EXPECT_TRUE(moft->SamplesBetween(temporal::TimePoint(0),
+                                   temporal::TimePoint(1))
+                  .empty());
+}
+
+TEST(BeadEngineTest, ObjectsPossiblyWithinSupersetsLit) {
+  auto scenario = workload::BuildFigure1Scenario().ValueOrDie();
+  QueryEngine engine(scenario.db.get());
+  GeometryPredicate low = GeometryPredicate::AttributeLess("income", 1500.0);
+
+  // LIT passes-through objects: O1, O2, O6.
+  auto intervals =
+      engine.TrajectoryRegion(scenario.moft_name,
+                              scenario.neighborhoods_layer, low,
+                              TimePredicate())
+          .ValueOrDie();
+  std::set<int64_t> lit_oids;
+  for (const auto& row : intervals.rows()) {
+    lit_oids.insert(row[0].AsIntUnchecked());
+  }
+
+  // Sample spacing is 1 h; bus speeds are tiny (tens of units/hour), so a
+  // generous vmax covers every leg and adds reachability slack.
+  auto possible = engine.ObjectsPossiblyWithin(
+      scenario.moft_name, scenario.neighborhoods_layer, low, /*vmax=*/1.0);
+  ASSERT_TRUE(possible.ok()) << possible.status().ToString();
+  std::set<int64_t> bead_oids(possible.ValueOrDie().begin(),
+                              possible.ValueOrDie().end());
+  for (int64_t oid : lit_oids) {
+    EXPECT_TRUE(bead_oids.count(oid)) << oid;
+  }
+  EXPECT_GE(bead_oids.size(), lit_oids.size());
+
+  // Inconsistent speed bound reported as an error.
+  EXPECT_FALSE(engine
+                   .ObjectsPossiblyWithin(scenario.moft_name,
+                                          scenario.neighborhoods_layer, low,
+                                          /*vmax=*/1e-6)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace piet::core

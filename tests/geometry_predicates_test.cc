@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geometry/predicates.h"
+#include "geometry/segment.h"
+
+namespace piet::geometry {
+namespace {
+
+TEST(OrientationTest, BasicSigns) {
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {0, 1}), 1);   // CCW.
+  EXPECT_EQ(Orientation({0, 0}, {0, 1}, {1, 0}), -1);  // CW.
+  EXPECT_EQ(Orientation({0, 0}, {1, 1}, {2, 2}), 0);   // Collinear.
+}
+
+TEST(OrientationTest, NearDegenerateIsConsistent) {
+  // Points nearly collinear; the adaptive fallback must give a stable sign.
+  Point a(0, 0), b(1e7, 1e7);
+  Point slightly_above(5e6, 5e6 + 1e-6);
+  Point slightly_below(5e6, 5e6 - 1e-6);
+  EXPECT_EQ(Orientation(a, b, slightly_above), 1);
+  EXPECT_EQ(Orientation(a, b, slightly_below), -1);
+}
+
+TEST(OrientationTest, AntisymmetricUnderSwap) {
+  Random rng(77);
+  for (int i = 0; i < 200; ++i) {
+    Point a(rng.UniformDouble(-10, 10), rng.UniformDouble(-10, 10));
+    Point b(rng.UniformDouble(-10, 10), rng.UniformDouble(-10, 10));
+    Point c(rng.UniformDouble(-10, 10), rng.UniformDouble(-10, 10));
+    EXPECT_EQ(Orientation(a, b, c), -Orientation(b, a, c));
+    EXPECT_EQ(Orientation(a, b, c), Orientation(b, c, a));
+  }
+}
+
+TEST(OnSegmentTest, EndpointsAndMidpoint) {
+  Point a(0, 0), b(4, 2);
+  EXPECT_TRUE(OnSegment(a, a, b));
+  EXPECT_TRUE(OnSegment(b, a, b));
+  EXPECT_TRUE(OnSegment({2, 1}, a, b));
+  EXPECT_FALSE(OnSegment({2, 1.01}, a, b));
+  EXPECT_FALSE(OnSegment({6, 3}, a, b));  // Collinear but outside.
+}
+
+TEST(SegmentIntersectionTest, ProperCrossing) {
+  auto isect = IntersectSegments({0, 0}, {2, 2}, {0, 2}, {2, 0});
+  ASSERT_EQ(isect.kind, SegmentIntersectionKind::kPoint);
+  EXPECT_DOUBLE_EQ(isect.p0.x, 1.0);
+  EXPECT_DOUBLE_EQ(isect.p0.y, 1.0);
+}
+
+TEST(SegmentIntersectionTest, Disjoint) {
+  EXPECT_EQ(IntersectSegments({0, 0}, {1, 0}, {0, 1}, {1, 1}).kind,
+            SegmentIntersectionKind::kNone);
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {2, 0.5}, {3, 0.5}));
+}
+
+TEST(SegmentIntersectionTest, EndpointTouch) {
+  auto isect = IntersectSegments({0, 0}, {1, 1}, {1, 1}, {2, 0});
+  ASSERT_EQ(isect.kind, SegmentIntersectionKind::kPoint);
+  EXPECT_EQ(isect.p0, Point(1, 1));
+}
+
+TEST(SegmentIntersectionTest, TTouchMidSegment) {
+  auto isect = IntersectSegments({0, 0}, {2, 0}, {1, 0}, {1, 1});
+  ASSERT_EQ(isect.kind, SegmentIntersectionKind::kPoint);
+  EXPECT_EQ(isect.p0, Point(1, 0));
+}
+
+TEST(SegmentIntersectionTest, CollinearOverlap) {
+  auto isect = IntersectSegments({0, 0}, {3, 0}, {1, 0}, {5, 0});
+  ASSERT_EQ(isect.kind, SegmentIntersectionKind::kOverlap);
+  EXPECT_EQ(isect.p0, Point(1, 0));
+  EXPECT_EQ(isect.p1, Point(3, 0));
+}
+
+TEST(SegmentIntersectionTest, CollinearTouchAtPoint) {
+  auto isect = IntersectSegments({0, 0}, {1, 0}, {1, 0}, {2, 0});
+  ASSERT_EQ(isect.kind, SegmentIntersectionKind::kPoint);
+  EXPECT_EQ(isect.p0, Point(1, 0));
+}
+
+TEST(SegmentIntersectionTest, CollinearDisjoint) {
+  EXPECT_EQ(IntersectSegments({0, 0}, {1, 0}, {2, 0}, {3, 0}).kind,
+            SegmentIntersectionKind::kNone);
+}
+
+TEST(SegmentIntersectionTest, VerticalOverlap) {
+  auto isect = IntersectSegments({2, 0}, {2, 4}, {2, 3}, {2, 6});
+  ASSERT_EQ(isect.kind, SegmentIntersectionKind::kOverlap);
+  EXPECT_EQ(isect.p0, Point(2, 3));
+  EXPECT_EQ(isect.p1, Point(2, 4));
+}
+
+TEST(SegmentIntersectionTest, SymmetricInArguments) {
+  Random rng(31);
+  for (int i = 0; i < 500; ++i) {
+    Point a0(rng.UniformInt(0, 8), rng.UniformInt(0, 8));
+    Point a1(rng.UniformInt(0, 8), rng.UniformInt(0, 8));
+    Point b0(rng.UniformInt(0, 8), rng.UniformInt(0, 8));
+    Point b1(rng.UniformInt(0, 8), rng.UniformInt(0, 8));
+    EXPECT_EQ(SegmentsIntersect(a0, a1, b0, b1),
+              SegmentsIntersect(b0, b1, a0, a1))
+        << a0.ToString() << a1.ToString() << b0.ToString() << b1.ToString();
+  }
+}
+
+TEST(SegmentTest, ClosestPointAndDistance) {
+  Segment s({0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(s.DistanceTo({5, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(s.DistanceTo({-3, 4}), 5.0);  // Clamped to endpoint.
+  EXPECT_EQ(s.ClosestPoint({5, 3}), Point(5, 0));
+  EXPECT_DOUBLE_EQ(s.ClosestParam({5, 3}), 0.5);
+}
+
+TEST(SegmentTest, DegenerateSegment) {
+  Segment s({2, 2}, {2, 2});
+  EXPECT_DOUBLE_EQ(s.Length(), 0.0);
+  EXPECT_DOUBLE_EQ(s.DistanceTo({5, 6}), 5.0);
+  EXPECT_DOUBLE_EQ(s.ClosestParam({9, 9}), 0.0);
+}
+
+TEST(SegmentTest, SegmentDistance) {
+  EXPECT_DOUBLE_EQ(SegmentDistance({{0, 0}, {1, 0}}, {{0, 2}, {1, 2}}), 2.0);
+  EXPECT_DOUBLE_EQ(SegmentDistance({{0, 0}, {2, 2}}, {{0, 2}, {2, 0}}), 0.0);
+}
+
+TEST(SegmentTest, At) {
+  Segment s({0, 0}, {10, 20});
+  EXPECT_EQ(s.At(0.0), Point(0, 0));
+  EXPECT_EQ(s.At(0.5), Point(5, 10));
+  EXPECT_EQ(s.At(1.0), Point(10, 20));
+}
+
+// Property: intersection point reported for proper crossings lies on both
+// segments (within tolerance).
+TEST(SegmentIntersectionProperty, ReportedPointOnBothSegments) {
+  Random rng(99);
+  int crossings = 0;
+  for (int i = 0; i < 2000 && crossings < 300; ++i) {
+    Point a0(rng.UniformDouble(0, 10), rng.UniformDouble(0, 10));
+    Point a1(rng.UniformDouble(0, 10), rng.UniformDouble(0, 10));
+    Point b0(rng.UniformDouble(0, 10), rng.UniformDouble(0, 10));
+    Point b1(rng.UniformDouble(0, 10), rng.UniformDouble(0, 10));
+    auto isect = IntersectSegments(a0, a1, b0, b1);
+    if (isect.kind != SegmentIntersectionKind::kPoint) {
+      continue;
+    }
+    ++crossings;
+    EXPECT_LT(Segment(a0, a1).DistanceTo(isect.p0), 1e-9);
+    EXPECT_LT(Segment(b0, b1).DistanceTo(isect.p0), 1e-9);
+  }
+  EXPECT_GT(crossings, 100);
+}
+
+}  // namespace
+}  // namespace piet::geometry

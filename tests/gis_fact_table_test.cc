@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gis/fact_table.h"
+#include "workload/scenario.h"
+
+namespace piet::gis {
+namespace {
+
+using geometry::MakeRectangle;
+using geometry::Point;
+using geometry::Polyline;
+
+TEST(GisFactTableTest, SetGetMeasure) {
+  Layer layer("pg", GeometryKind::kPolygon);
+  GeometryId a = layer.AddPolygon(MakeRectangle(0, 0, 1, 1)).ValueOrDie();
+  GisFactTable facts(&layer, {"population", "income"});
+
+  EXPECT_TRUE(facts.Set(a, {1000.0, 1200.0}).ok());
+  EXPECT_EQ(facts.Measure(a, "population").ValueOrDie(), 1000.0);
+  EXPECT_EQ(facts.Measure(a, "income").ValueOrDie(), 1200.0);
+  EXPECT_TRUE(facts.Measure(a, "ghost").status().IsNotFound());
+  EXPECT_TRUE(facts.Measure(42, "population").status().IsNotFound());
+  // Arity mismatch and unknown geometry rejected.
+  EXPECT_TRUE(facts.Set(a, {1.0}).IsInvalidArgument());
+  EXPECT_TRUE(facts.Set(99, {1.0, 2.0}).IsNotFound());
+}
+
+TEST(GisFactTableTest, AggregateAndTotality) {
+  Layer layer("pg", GeometryKind::kPolygon);
+  GeometryId a = layer.AddPolygon(MakeRectangle(0, 0, 1, 1)).ValueOrDie();
+  GeometryId b = layer.AddPolygon(MakeRectangle(1, 0, 2, 1)).ValueOrDie();
+  GeometryId c = layer.AddPolygon(MakeRectangle(2, 0, 3, 1)).ValueOrDie();
+  GisFactTable facts(&layer, {"pop"});
+  ASSERT_TRUE(facts.Set(a, {100.0}).ok());
+  ASSERT_TRUE(facts.Set(b, {250.0}).ok());
+
+  EXPECT_TRUE(facts.CheckTotal().IsInvalidArgument());  // c missing.
+  ASSERT_TRUE(facts.Set(c, {50.0}).ok());
+  EXPECT_TRUE(facts.CheckTotal().ok());
+
+  EXPECT_DOUBLE_EQ(
+      facts.Aggregate({a, b, c}, "pop", olap::AggFunction::kSum).ValueOrDie(),
+      400.0);
+  EXPECT_DOUBLE_EQ(
+      facts.Aggregate({a, c}, "pop", olap::AggFunction::kMax).ValueOrDie(),
+      100.0);
+  EXPECT_DOUBLE_EQ(
+      facts.Aggregate({}, "pop", olap::AggFunction::kSum).ValueOrDie(), 0.0);
+}
+
+TEST(GisFactTableTest, RollUpAlongGeometryRelation) {
+  // Lines 0,1 compose polyline 10; line 2 composes polyline 11 — the
+  // paper's (line, polyline) rollup relation example.
+  GisDimensionSchema schema = workload::BuildFigure2Schema();
+  GisDimensionInstance gis(std::move(schema));
+  auto lr = std::make_shared<Layer>("Lr", GeometryKind::kLine);
+  GeometryId l0 = lr->AddPolyline(Polyline({{0, 0}, {1, 0}})).ValueOrDie();
+  GeometryId l1 = lr->AddPolyline(Polyline({{1, 0}, {2, 0}})).ValueOrDie();
+  GeometryId l2 = lr->AddPolyline(Polyline({{5, 5}, {6, 6}})).ValueOrDie();
+  ASSERT_TRUE(gis.AddLayer(lr).ok());
+  ASSERT_TRUE(gis.AddGeometryRollup("Lr", GeometryKind::kLine, l0,
+                                    GeometryKind::kPolyline, 10).ok());
+  ASSERT_TRUE(gis.AddGeometryRollup("Lr", GeometryKind::kLine, l1,
+                                    GeometryKind::kPolyline, 10).ok());
+  ASSERT_TRUE(gis.AddGeometryRollup("Lr", GeometryKind::kLine, l2,
+                                    GeometryKind::kPolyline, 11).ok());
+
+  GisFactTable facts(lr.get(), {"flow"});
+  ASSERT_TRUE(facts.Set(l0, {5.0}).ok());
+  ASSERT_TRUE(facts.Set(l1, {7.0}).ok());
+  ASSERT_TRUE(facts.Set(l2, {2.0}).ok());
+
+  auto rolled = facts.RollUpAlongGeometry(gis, GeometryKind::kPolyline,
+                                          {10, 11}, "flow",
+                                          olap::AggFunction::kSum);
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+  ASSERT_EQ(rolled.ValueOrDie().num_rows(), 2u);
+  EXPECT_EQ(rolled.ValueOrDie().row(0)[1], Value(12.0));  // Polyline 10.
+  EXPECT_EQ(rolled.ValueOrDie().row(1)[1], Value(2.0));   // Polyline 11.
+}
+
+TEST(GisFactTableTest, ToFactTableShape) {
+  Layer layer("nd", GeometryKind::kNode);
+  GeometryId a = layer.AddPoint({1, 1}).ValueOrDie();
+  GisFactTable facts(&layer, {"visits"});
+  ASSERT_TRUE(facts.Set(a, {3.0}).ok());
+  auto table = facts.ToFactTable();
+  ASSERT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.At(0, "geom").ValueOrDie(), Value(int64_t{0}));
+  EXPECT_EQ(table.At(0, "layer").ValueOrDie(), Value("nd"));
+  EXPECT_EQ(table.At(0, "visits").ValueOrDie(), Value(3.0));
+}
+
+}  // namespace
+}  // namespace piet::gis

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gis/io.h"
+
+namespace piet::gis {
+namespace {
+
+using geometry::MakeRectangle;
+using geometry::Point;
+using geometry::Polyline;
+
+TEST(LayerIoTest, PolygonRoundTrip) {
+  Layer layer("neighborhoods", GeometryKind::kPolygon);
+  GeometryId a = layer.AddPolygon(MakeRectangle(0, 0, 10, 10)).ValueOrDie();
+  GeometryId b = layer.AddPolygon(MakeRectangle(10, 0, 20, 10)).ValueOrDie();
+  ASSERT_TRUE(layer.SetAttribute(a, "income", Value(1200.5)).ok());
+  ASSERT_TRUE(layer.SetAttribute(a, "name", Value("Berchem")).ok());
+  ASSERT_TRUE(layer.SetAttribute(b, "count", Value(int64_t{7})).ok());
+  ASSERT_TRUE(layer.SetAttribute(b, "flag", Value(true)).ok());
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteLayer(layer, out).ok());
+
+  std::istringstream in(out.str());
+  auto restored = ReadLayer(in);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const Layer& r = *restored.ValueOrDie();
+  EXPECT_EQ(r.name(), "neighborhoods");
+  EXPECT_EQ(r.kind(), GeometryKind::kPolygon);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.GetAttribute(0, "income").ValueOrDie(), Value(1200.5));
+  EXPECT_EQ(r.GetAttribute(0, "name").ValueOrDie(), Value("Berchem"));
+  EXPECT_EQ(r.GetAttribute(1, "count").ValueOrDie(), Value(int64_t{7}));
+  EXPECT_EQ(r.GetAttribute(1, "flag").ValueOrDie(), Value(true));
+  EXPECT_DOUBLE_EQ(r.GetPolygon(0).ValueOrDie()->Area(), 100.0);
+  EXPECT_TRUE(r.GetPolygon(1).ValueOrDie()->Contains({15, 5}));
+}
+
+TEST(LayerIoTest, NodeAndPolylineRoundTrip) {
+  Layer nodes("schools", GeometryKind::kNode);
+  GeometryId s = nodes.AddPoint({1.25, -3.5}).ValueOrDie();
+  ASSERT_TRUE(nodes.SetAttribute(s, "name", Value("S0")).ok());
+  std::ostringstream out1;
+  ASSERT_TRUE(WriteLayer(nodes, out1).ok());
+  std::istringstream in1(out1.str());
+  auto r1 = ReadLayer(in1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.ValueOrDie()->GetPoint(0).ValueOrDie(), Point(1.25, -3.5));
+
+  Layer lines("streets", GeometryKind::kPolyline);
+  (void)lines.AddPolyline(Polyline({{0, 0}, {5, 5}, {10, 0}}));
+  std::ostringstream out2;
+  ASSERT_TRUE(WriteLayer(lines, out2).ok());
+  std::istringstream in2(out2.str());
+  auto r2 = ReadLayer(in2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.ValueOrDie()->GetPolyline(0).ValueOrDie()->num_vertices(), 3u);
+}
+
+TEST(LayerIoTest, StringEscaping) {
+  Layer layer("l", GeometryKind::kNode);
+  GeometryId id = layer.AddPoint({0, 0}).ValueOrDie();
+  ASSERT_TRUE(
+      layer.SetAttribute(id, "weird", Value("tab\there\nline\\slash")).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteLayer(layer, out).ok());
+  std::istringstream in(out.str());
+  auto restored = ReadLayer(in);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.ValueOrDie()->GetAttribute(0, "weird").ValueOrDie(),
+            Value("tab\there\nline\\slash"));
+}
+
+TEST(LayerIoTest, DoublePrecisionPreserved) {
+  Layer layer("l", GeometryKind::kNode);
+  GeometryId id = layer.AddPoint({0.1, 0.2}).ValueOrDie();
+  double v = 1.0 / 3.0;
+  ASSERT_TRUE(layer.SetAttribute(id, "third", Value(v)).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteLayer(layer, out).ok());
+  std::istringstream in(out.str());
+  auto restored = ReadLayer(in);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_DOUBLE_EQ(restored.ValueOrDie()
+                       ->GetAttribute(0, "third")
+                       .ValueOrDie()
+                       .AsDoubleUnchecked(),
+                   v);
+}
+
+TEST(LayerIoTest, ParseErrors) {
+  std::istringstream no_header("layer x polygon\n");
+  EXPECT_TRUE(ReadLayer(no_header).status().IsParseError());
+  std::istringstream bad_kind("# piet-layer v1\nlayer x blob\n");
+  EXPECT_TRUE(ReadLayer(bad_kind).status().IsParseError());
+  std::istringstream bad_elem("# piet-layer v1\nlayer x node\nbogus line\n");
+  EXPECT_TRUE(ReadLayer(bad_elem).status().IsParseError());
+  std::istringstream bad_attr(
+      "# piet-layer v1\nlayer x node\nelem POINT (1 2)\tnovalue\n");
+  EXPECT_TRUE(ReadLayer(bad_attr).status().IsParseError());
+  std::istringstream bad_tag(
+      "# piet-layer v1\nlayer x node\nelem POINT (1 2)\tk=z:1\n");
+  EXPECT_TRUE(ReadLayer(bad_tag).status().IsParseError());
+}
+
+TEST(LayerIoTest, CommentsAndBlankLinesSkipped) {
+  std::istringstream in(
+      "# piet-layer v1\n"
+      "layer l node\n"
+      "\n"
+      "# a comment\n"
+      "elem POINT (3 4)\n");
+  auto restored = ReadLayer(in);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.ValueOrDie()->size(), 1u);
+}
+
+}  // namespace
+}  // namespace piet::gis

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gis/density.h"
+#include "gis/instance.h"
+#include "gis/layer.h"
+#include "gis/schema.h"
+#include "workload/scenario.h"
+
+namespace piet::gis {
+namespace {
+
+using geometry::MakeRectangle;
+using geometry::Point;
+using geometry::Polyline;
+
+TEST(LayerTest, KindEnforcement) {
+  Layer polygons("pg", GeometryKind::kPolygon);
+  EXPECT_TRUE(polygons.AddPoint({0, 0}).status().IsTypeError());
+  EXPECT_TRUE(polygons
+                  .AddPolyline(Polyline({{0, 0}, {1, 1}}))
+                  .status()
+                  .IsTypeError());
+  EXPECT_TRUE(polygons.AddPolygon(MakeRectangle(0, 0, 1, 1)).ok());
+
+  Layer nodes("nd", GeometryKind::kNode);
+  EXPECT_TRUE(nodes.AddPoint({1, 2}).ok());
+  EXPECT_TRUE(nodes.AddPolygon(MakeRectangle(0, 0, 1, 1)).status().IsTypeError());
+}
+
+TEST(LayerTest, AttributesRoundTrip) {
+  Layer layer("pg", GeometryKind::kPolygon);
+  GeometryId id = layer.AddPolygon(MakeRectangle(0, 0, 1, 1)).ValueOrDie();
+  ASSERT_TRUE(layer.SetAttribute(id, "income", Value(1200.0)).ok());
+  EXPECT_EQ(layer.GetAttribute(id, "income").ValueOrDie(), Value(1200.0));
+  EXPECT_TRUE(layer.HasAttribute(id, "income"));
+  EXPECT_FALSE(layer.HasAttribute(id, "pop"));
+  EXPECT_TRUE(layer.GetAttribute(id, "pop").status().IsNotFound());
+  EXPECT_TRUE(layer.SetAttribute(99, "x", Value(1)).IsNotFound());
+}
+
+TEST(LayerTest, GeometriesContaining) {
+  Layer layer("pg", GeometryKind::kPolygon);
+  GeometryId a = layer.AddPolygon(MakeRectangle(0, 0, 10, 10)).ValueOrDie();
+  GeometryId b = layer.AddPolygon(MakeRectangle(10, 0, 20, 10)).ValueOrDie();
+  GeometryId c = layer.AddPolygon(MakeRectangle(100, 100, 110, 110)).ValueOrDie();
+  (void)c;
+
+  auto hits = layer.GeometriesContaining({5, 5});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], a);
+
+  // Shared border belongs to both (paper Example 1).
+  auto border = layer.GeometriesContaining({10, 5});
+  EXPECT_EQ(border.size(), 2u);
+
+  EXPECT_TRUE(layer.GeometriesContaining({50, 50}).empty());
+  (void)b;
+}
+
+TEST(LayerTest, GeometriesContainingAfterIncrementalAdd) {
+  Layer layer("pg", GeometryKind::kPolygon);
+  (void)layer.AddPolygon(MakeRectangle(0, 0, 1, 1));
+  EXPECT_EQ(layer.GeometriesContaining({0.5, 0.5}).size(), 1u);
+  // Adding invalidates and rebuilds the index.
+  (void)layer.AddPolygon(MakeRectangle(0, 0, 2, 2));
+  EXPECT_EQ(layer.GeometriesContaining({0.5, 0.5}).size(), 2u);
+}
+
+TEST(LayerTest, TotalMeasure) {
+  Layer polygons("pg", GeometryKind::kPolygon);
+  (void)polygons.AddPolygon(MakeRectangle(0, 0, 2, 2));
+  (void)polygons.AddPolygon(MakeRectangle(5, 5, 6, 6));
+  EXPECT_DOUBLE_EQ(polygons.TotalMeasure(), 5.0);
+
+  Layer lines("pl", GeometryKind::kPolyline);
+  (void)lines.AddPolyline(Polyline({{0, 0}, {3, 4}}));
+  EXPECT_DOUBLE_EQ(lines.TotalMeasure(), 5.0);
+}
+
+TEST(GeometryGraphTest, CanonicalGraphsValidate) {
+  EXPECT_TRUE(GeometryGraph::PolygonLayerGraph().Validate().ok());
+  EXPECT_TRUE(GeometryGraph::PolylineLayerGraph().Validate().ok());
+  EXPECT_TRUE(GeometryGraph::NodeLayerGraph().Validate().ok());
+}
+
+TEST(GeometryGraphTest, Def1Constraints) {
+  GeometryGraph g;
+  EXPECT_TRUE(g.AddEdge(GeometryKind::kPolygon, GeometryKind::kPoint)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(g.AddEdge(GeometryKind::kAll, GeometryKind::kPolygon)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(g.AddEdge(GeometryKind::kPolygon, GeometryKind::kPolygon)
+                  .IsInvalidArgument());
+  // Unreachable node fails validation.
+  GeometryGraph h;
+  ASSERT_TRUE(h.AddEdge(GeometryKind::kPoint, GeometryKind::kAll).ok());
+  EXPECT_TRUE(h.Validate().ok());
+}
+
+TEST(GeometryGraphTest, RollsUpTransitive) {
+  GeometryGraph g = GeometryGraph::PolylineLayerGraph();
+  EXPECT_TRUE(g.RollsUp(GeometryKind::kPoint, GeometryKind::kPolyline));
+  EXPECT_TRUE(g.RollsUp(GeometryKind::kLine, GeometryKind::kAll));
+  EXPECT_FALSE(g.RollsUp(GeometryKind::kPolyline, GeometryKind::kLine));
+}
+
+TEST(Figure2SchemaTest, StructureMatchesPaper) {
+  GisDimensionSchema schema = workload::BuildFigure2Schema();
+  EXPECT_TRUE(schema.Validate().ok());
+
+  // Layers Ln / Lr / Ls of Figure 2.
+  auto ln = schema.GraphOf("Ln");
+  ASSERT_TRUE(ln.ok());
+  EXPECT_TRUE(
+      ln.ValueOrDie()->RollsUp(GeometryKind::kPoint, GeometryKind::kPolygon));
+
+  auto lr = schema.GraphOf("Lr");
+  ASSERT_TRUE(lr.ok());
+  EXPECT_TRUE(
+      lr.ValueOrDie()->RollsUp(GeometryKind::kLine, GeometryKind::kPolyline));
+
+  // Att bindings of Example 2.
+  auto att = schema.AttOf("neighborhood");
+  ASSERT_TRUE(att.ok());
+  EXPECT_EQ(att.ValueOrDie().kind, GeometryKind::kPolygon);
+  EXPECT_EQ(att.ValueOrDie().layer, "Ln");
+
+  // Application dimension: neighborhood -> city.
+  auto nb = schema.ApplicationDimension("Neighbourhoods");
+  ASSERT_TRUE(nb.ok());
+  EXPECT_TRUE(nb.ValueOrDie()->RollsUp("neighborhood", "city"));
+}
+
+TEST(GisInstanceTest, AlphaBindings) {
+  GisDimensionSchema schema = workload::BuildFigure2Schema();
+  GisDimensionInstance gis(std::move(schema));
+  auto ln = std::make_shared<Layer>("Ln", GeometryKind::kPolygon);
+  GeometryId pg = ln->AddPolygon(MakeRectangle(0, 0, 1, 1)).ValueOrDie();
+  ASSERT_TRUE(gis.AddLayer(ln).ok());
+
+  ASSERT_TRUE(gis.BindAlpha("neighborhood", Value("Berchem"), pg).ok());
+  EXPECT_EQ(gis.Alpha("neighborhood", Value("Berchem")).ValueOrDie(), pg);
+  EXPECT_EQ(gis.AlphaInverse("neighborhood", pg).ValueOrDie(),
+            Value("Berchem"));
+  EXPECT_TRUE(
+      gis.Alpha("neighborhood", Value("Nowhere")).status().IsNotFound());
+  // Rebinding to a different geometry is rejected.
+  EXPECT_TRUE(gis.BindAlpha("neighborhood", Value("Berchem"), 99)
+                  .IsNotFound());  // Geometry 99 does not exist.
+  // Binding an unknown attribute fails.
+  EXPECT_TRUE(gis.BindAlpha("volcano", Value("X"), pg).IsNotFound());
+}
+
+TEST(GisInstanceTest, LayerRegistration) {
+  GisDimensionSchema schema = workload::BuildFigure2Schema();
+  GisDimensionInstance gis(std::move(schema));
+  // Layer name not in schema.
+  auto rogue = std::make_shared<Layer>("Rogue", GeometryKind::kPolygon);
+  EXPECT_TRUE(gis.AddLayer(rogue).IsNotFound());
+  // Kind not in the layer's graph.
+  auto wrong = std::make_shared<Layer>("Ln", GeometryKind::kPolyline);
+  EXPECT_TRUE(gis.AddLayer(wrong).IsInvalidArgument());
+  // Correct.
+  auto ok_layer = std::make_shared<Layer>("Ln", GeometryKind::kPolygon);
+  EXPECT_TRUE(gis.AddLayer(ok_layer).ok());
+  // Duplicate.
+  auto dup = std::make_shared<Layer>("Ln", GeometryKind::kPolygon);
+  EXPECT_TRUE(gis.AddLayer(dup).IsAlreadyExists());
+}
+
+TEST(GisInstanceTest, GeometryRollupRelation) {
+  GisDimensionSchema schema = workload::BuildFigure2Schema();
+  GisDimensionInstance gis(std::move(schema));
+  auto lr = std::make_shared<Layer>("Lr", GeometryKind::kPolyline);
+  ASSERT_TRUE(gis.AddLayer(lr).ok());
+  // line 0 and line 1 compose polyline 7.
+  ASSERT_TRUE(gis.AddGeometryRollup("Lr", GeometryKind::kLine, 0,
+                                    GeometryKind::kPolyline, 7).ok());
+  ASSERT_TRUE(gis.AddGeometryRollup("Lr", GeometryKind::kLine, 1,
+                                    GeometryKind::kPolyline, 7).ok());
+  auto up = gis.GeometryRollup("Lr", GeometryKind::kLine, 0,
+                               GeometryKind::kPolyline).ValueOrDie();
+  ASSERT_EQ(up.size(), 1u);
+  EXPECT_EQ(up[0], 7);
+  auto members = gis.GeometryMembers("Lr", GeometryKind::kLine,
+                                     GeometryKind::kPolyline, 7).ValueOrDie();
+  EXPECT_EQ(members.size(), 2u);
+  // Edge absent from the graph is rejected.
+  EXPECT_TRUE(gis.AddGeometryRollup("Lr", GeometryKind::kLine, 0,
+                                    GeometryKind::kPolygon, 1)
+                  .IsInvalidArgument());
+}
+
+TEST(DensityTest, ConstantExact) {
+  ConstantDensity d(3.0);
+  EXPECT_DOUBLE_EQ(d.ValueAt({1, 1}), 3.0);
+  EXPECT_DOUBLE_EQ(d.IntegrateOverPolygon(MakeRectangle(0, 0, 2, 5)), 30.0);
+}
+
+TEST(DensityTest, PerRegionExactOnConvex) {
+  Layer layer("pg", GeometryKind::kPolygon);
+  (void)layer.AddPolygon(MakeRectangle(0, 0, 10, 10));
+  (void)layer.AddPolygon(MakeRectangle(10, 0, 20, 10));
+  PerRegionDensity density(&layer, {2.0, 5.0});
+
+  EXPECT_DOUBLE_EQ(density.ValueAt({5, 5}), 2.0);
+  EXPECT_DOUBLE_EQ(density.ValueAt({15, 5}), 5.0);
+  EXPECT_DOUBLE_EQ(density.ValueAt({50, 50}), 0.0);
+  EXPECT_DOUBLE_EQ(density.TotalMass(), 700.0);
+
+  // Query [5,15]x[0,5] straddles both cells: 2*25 + 5*25.
+  EXPECT_DOUBLE_EQ(density.IntegrateOverPolygon(MakeRectangle(5, 0, 15, 5)),
+                   50.0 + 125.0);
+}
+
+TEST(DensityTest, QuadratureApproximatesNonConvex) {
+  Layer layer("pg", GeometryKind::kPolygon);
+  (void)layer.AddPolygon(MakeRectangle(0, 0, 10, 10));
+  PerRegionDensity density(&layer, {1.0});
+  // Non-convex query polygon (L-shape of area 300... scaled: use a small L).
+  geometry::Ring l({{0, 0}, {10, 0}, {10, 5}, {5, 5}, {5, 10}, {0, 10}});
+  geometry::Polygon lp(l);
+  double integral = density.IntegrateOverPolygon(lp);
+  EXPECT_NEAR(integral, 75.0, 1.5);  // Quadrature tolerance.
+}
+
+}  // namespace
+}  // namespace piet::gis

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "moving/heatmap.h"
+#include "moving/simplify.h"
+
+namespace piet::moving {
+namespace {
+
+using geometry::BoundingBox;
+using geometry::Point;
+using temporal::TimePoint;
+
+TrajectorySample MakeSample(std::vector<TimedPoint> pts) {
+  return TrajectorySample::Create(std::move(pts)).ValueOrDie();
+}
+
+TEST(SimplifyTest, CollinearUniformMotionCollapses) {
+  // Constant-velocity motion: every interior sample is exactly on the
+  // chord, so tolerance 0 keeps just the endpoints.
+  std::vector<TimedPoint> pts;
+  for (int i = 0; i <= 10; ++i) {
+    pts.push_back({TimePoint(i), Point(2.0 * i, 3.0 * i)});
+  }
+  auto simplified =
+      SimplifySynchronized(MakeSample(pts), 0.0).ValueOrDie();
+  EXPECT_EQ(simplified.size(), 2u);
+}
+
+TEST(SimplifyTest, SpatialLineWithSpeedChangeIsKept) {
+  // The image is a straight line, but the object pauses midway: plain
+  // Douglas-Peucker would drop the middle point, synchronized distance
+  // must keep it (time-parameterized deviation is large).
+  std::vector<TimedPoint> pts = {
+      {TimePoint(0), {0, 0}},
+      {TimePoint(9), {1, 0}},   // Slow first half.
+      {TimePoint(10), {10, 0}}  // Fast second half.
+  };
+  auto simplified =
+      SimplifySynchronized(MakeSample(pts), 0.5).ValueOrDie();
+  EXPECT_EQ(simplified.size(), 3u);
+}
+
+TEST(SimplifyTest, ToleranceBoundsError) {
+  Random rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<TimedPoint> pts;
+    double t = 0.0;
+    Point pos(0, 0);
+    for (int i = 0; i < 50; ++i) {
+      pts.push_back({TimePoint(t), pos});
+      t += rng.UniformDouble(0.5, 2.0);
+      pos = pos + Point(rng.UniformDouble(-5, 10), rng.UniformDouble(-5, 5));
+    }
+    TrajectorySample original = MakeSample(pts);
+    for (double tolerance : {0.5, 2.0, 10.0}) {
+      auto simplified =
+          SimplifySynchronized(original, tolerance).ValueOrDie();
+      EXPECT_LE(simplified.size(), original.size());
+      double err =
+          MaxSynchronizedError(original, simplified).ValueOrDie();
+      EXPECT_LE(err, tolerance + 1e-9)
+          << "tolerance " << tolerance << " trial " << trial;
+    }
+  }
+}
+
+TEST(SimplifyTest, MonotoneCompression) {
+  // Larger tolerance never keeps more points.
+  Random rng(7);
+  std::vector<TimedPoint> pts;
+  double t = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back({TimePoint(t),
+                   Point(rng.UniformDouble(0, 100), rng.UniformDouble(0, 100))});
+    t += 1.0;
+  }
+  TrajectorySample original = MakeSample(pts);
+  size_t prev = original.size() + 1;
+  for (double tolerance : {0.1, 1.0, 10.0, 100.0, 1000.0}) {
+    auto simplified = SimplifySynchronized(original, tolerance).ValueOrDie();
+    EXPECT_LE(simplified.size(), prev);
+    prev = simplified.size();
+  }
+  // Huge tolerance keeps only the endpoints.
+  EXPECT_EQ(prev, 2u);
+}
+
+TEST(SimplifyTest, EdgeCases) {
+  EXPECT_TRUE(SimplifySynchronized(MakeSample({{TimePoint(0), {0, 0}}}), 1.0)
+                  .ok());
+  EXPECT_TRUE(
+      SimplifySynchronized(MakeSample({{TimePoint(0), {0, 0}}}), -1.0)
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST(HeatmapTest, SinglePassAcrossGrid) {
+  TrajectoryHeatmap map(BoundingBox(0, 0, 100, 100), 10);
+  Moft moft;
+  // Horizontal crossing at y=55: passes through row cy=5.
+  ASSERT_TRUE(moft.Add(1, TimePoint(0), {0, 55}).ok());
+  ASSERT_TRUE(moft.Add(1, TimePoint(10), {100, 55}).ok());
+  ASSERT_TRUE(map.AddMoft(moft).ok());
+
+  for (size_t cx = 0; cx < 10; ++cx) {
+    EXPECT_EQ(map.PassCount(cx, 5), 1) << cx;
+    EXPECT_EQ(map.PassCount(cx, 2), 0) << cx;
+  }
+  // Only the endpoint cells have observed samples.
+  EXPECT_EQ(map.SampleCount(0, 5), 1);
+  EXPECT_EQ(map.SampleCount(9, 5), 1);
+  EXPECT_EQ(map.SampleCount(4, 5), 0);
+}
+
+TEST(HeatmapTest, PassCountsAreDistinctPerObject) {
+  TrajectoryHeatmap map(BoundingBox(0, 0, 100, 100), 4);
+  Moft moft;
+  // One object zig-zags through the same cell twice: still one pass.
+  ASSERT_TRUE(moft.Add(1, TimePoint(0), {10, 10}).ok());
+  ASSERT_TRUE(moft.Add(1, TimePoint(5), {15, 15}).ok());
+  ASSERT_TRUE(moft.Add(1, TimePoint(10), {5, 5}).ok());
+  // A second object visits the same cell: two passes total.
+  ASSERT_TRUE(moft.Add(2, TimePoint(0), {12, 12}).ok());
+  ASSERT_TRUE(map.AddMoft(moft).ok());
+  EXPECT_EQ(map.PassCount(0, 0), 2);
+  EXPECT_EQ(map.SampleCount(0, 0), 4);
+}
+
+TEST(HeatmapTest, HotspotAndFactTable) {
+  TrajectoryHeatmap map(BoundingBox(0, 0, 100, 100), 4);
+  Moft moft;
+  for (int obj = 1; obj <= 3; ++obj) {
+    // All three objects cross the center cell (cx=1..2, cy=1..2 area).
+    ASSERT_TRUE(
+        moft.Add(obj, TimePoint(0), {50.0 + obj, 10.0 * obj}).ok());
+    ASSERT_TRUE(
+        moft.Add(obj, TimePoint(10), {50.0 + obj, 90.0}).ok());
+  }
+  ASSERT_TRUE(map.AddMoft(moft).ok());
+  auto hotspot = map.MaxCell();
+  EXPECT_EQ(hotspot.passes, 3);
+  EXPECT_EQ(hotspot.cx, 2u);  // x ~ 51-53 -> cell 2 of 4 (width 25).
+
+  auto table = map.ToFactTable();
+  EXPECT_GT(table.num_rows(), 0u);
+  // Total passes in the table match the per-cell sums.
+  int64_t total = 0;
+  for (const auto& row : table.rows()) {
+    total += row[2].AsIntUnchecked();
+  }
+  int64_t expected = 0;
+  for (size_t cy = 0; cy < 4; ++cy) {
+    for (size_t cx = 0; cx < 4; ++cx) {
+      expected += map.PassCount(cx, cy);
+    }
+  }
+  EXPECT_EQ(total, expected);
+}
+
+TEST(HeatmapTest, StationaryObject) {
+  TrajectoryHeatmap map(BoundingBox(0, 0, 10, 10), 2);
+  Moft moft;
+  ASSERT_TRUE(moft.Add(1, TimePoint(0), {2, 2}).ok());
+  ASSERT_TRUE(map.AddMoft(moft).ok());
+  EXPECT_EQ(map.PassCount(0, 0), 1);
+  EXPECT_EQ(map.SampleCount(0, 0), 1);
+}
+
+TEST(HeatmapTest, CellBoxGeometry) {
+  TrajectoryHeatmap map(BoundingBox(0, 0, 100, 50), 5);
+  BoundingBox cell = map.CellBox(1, 2);
+  EXPECT_DOUBLE_EQ(cell.min_x, 20.0);
+  EXPECT_DOUBLE_EQ(cell.max_x, 40.0);
+  EXPECT_DOUBLE_EQ(cell.min_y, 20.0);
+  EXPECT_DOUBLE_EQ(cell.max_y, 30.0);
+}
+
+}  // namespace
+}  // namespace piet::moving

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "olap/mdx.h"
+
+namespace piet::olap::mdx {
+namespace {
+
+std::shared_ptr<DimensionInstance> GeoDim() {
+  DimensionSchema schema("Geo", "city");
+  EXPECT_TRUE(schema.AddEdge("city", "country").ok());
+  EXPECT_TRUE(schema.AddEdge("country", DimensionSchema::kAll).ok());
+  auto dim = std::make_shared<DimensionInstance>(schema);
+  EXPECT_TRUE(dim->AddRollup("city", Value("Antwerp"), "country",
+                             Value("Belgium")).ok());
+  EXPECT_TRUE(dim->AddRollup("city", Value("Brussels"), "country",
+                             Value("Belgium")).ok());
+  EXPECT_TRUE(dim->AddRollup("city", Value("Paris"), "country",
+                             Value("France")).ok());
+  return dim;
+}
+
+std::shared_ptr<DimensionInstance> ProductDim() {
+  DimensionSchema schema("Product", "product");
+  EXPECT_TRUE(schema.AddEdge("product", DimensionSchema::kAll).ok());
+  auto dim = std::make_shared<DimensionInstance>(schema);
+  EXPECT_TRUE(dim->AddMember("product", Value("beer")).ok());
+  EXPECT_TRUE(dim->AddMember("product", Value("fries")).ok());
+  return dim;
+}
+
+MdxEngine MakeEngine() {
+  FactTable facts = FactTable::Make({"city", "product"}, {"amount"});
+  EXPECT_TRUE(facts.Append({Value("Antwerp"), Value("beer"), Value(10.0)}).ok());
+  EXPECT_TRUE(
+      facts.Append({Value("Antwerp"), Value("fries"), Value(5.0)}).ok());
+  EXPECT_TRUE(
+      facts.Append({Value("Brussels"), Value("beer"), Value(7.0)}).ok());
+  EXPECT_TRUE(facts.Append({Value("Paris"), Value("beer"), Value(4.0)}).ok());
+  Cube cube(std::move(facts), {{"city", GeoDim(), "city"},
+                               {"product", ProductDim(), "product"}});
+  MdxEngine engine;
+  engine.AddCube("Sales", std::move(cube));
+  return engine;
+}
+
+TEST(MdxParserTest, FullQuery) {
+  auto q = ParseMdx(
+      "SELECT {[Measures].[amount]} ON COLUMNS, "
+      "{[Geo].[country].Members} ON ROWS FROM [Sales] "
+      "WHERE ([Product].[product].[beer])");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.ValueOrDie().columns.size(), 1u);
+  EXPECT_TRUE(q.ValueOrDie().columns[0].is_measure);
+  EXPECT_EQ(q.ValueOrDie().columns[0].measure, "amount");
+  ASSERT_EQ(q.ValueOrDie().rows.size(), 1u);
+  EXPECT_TRUE(q.ValueOrDie().rows[0].all_members);
+  EXPECT_EQ(q.ValueOrDie().rows[0].dimension, "Geo");
+  EXPECT_EQ(q.ValueOrDie().cube, "Sales");
+  ASSERT_EQ(q.ValueOrDie().slicer.size(), 1u);
+  EXPECT_EQ(q.ValueOrDie().slicer[0].member, Value("beer"));
+}
+
+TEST(MdxParserTest, Errors) {
+  EXPECT_TRUE(ParseMdx("FOO").status().IsParseError());
+  EXPECT_TRUE(ParseMdx("SELECT {[Measures].[m]} ON ROWS FROM [C]")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseMdx("SELECT {[Measures].[m] ON COLUMNS FROM [C]")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseMdx("SELECT {[Measures].[m]} ON COLUMNS FROM [C] extra")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseMdx(
+                  "SELECT {[Measures].[m]} ON COLUMNS FROM [C] "
+                  "WHERE ([D].[l].Members)")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(MdxEngineTest, MembersExpansionWithRollup) {
+  MdxEngine engine = MakeEngine();
+  auto result = engine.ExecuteString(
+      "SELECT {[Measures].[amount]} ON COLUMNS, "
+      "{[Geo].[country].Members} ON ROWS FROM [Sales]");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const MdxResult& r = result.ValueOrDie();
+  ASSERT_EQ(r.row_headers.size(), 2u);  // Belgium, France.
+  ASSERT_EQ(r.cells.size(), 2u);
+  // Belgium = 10 + 5 + 7 = 22; France = 4.
+  EXPECT_EQ(r.cells[0][0], Value(22.0));
+  EXPECT_EQ(r.cells[1][0], Value(4.0));
+}
+
+TEST(MdxEngineTest, SlicerFiltersFacts) {
+  MdxEngine engine = MakeEngine();
+  auto result = engine.ExecuteString(
+      "SELECT {[Measures].[amount]} ON COLUMNS, "
+      "{[Geo].[country].Members} ON ROWS FROM [Sales] "
+      "WHERE ([Product].[product].[beer])");
+  ASSERT_TRUE(result.ok());
+  const MdxResult& r = result.ValueOrDie();
+  EXPECT_EQ(r.cells[0][0], Value(17.0));  // Belgium beer: 10 + 7.
+  EXPECT_EQ(r.cells[1][0], Value(4.0));   // France beer.
+}
+
+TEST(MdxEngineTest, ExplicitMembersOnRows) {
+  MdxEngine engine = MakeEngine();
+  auto result = engine.ExecuteString(
+      "SELECT {[Measures].[amount]} ON COLUMNS, "
+      "{[Geo].[city].[Antwerp], [Geo].[city].[Paris]} ON ROWS FROM [Sales]");
+  ASSERT_TRUE(result.ok());
+  const MdxResult& r = result.ValueOrDie();
+  ASSERT_EQ(r.cells.size(), 2u);
+  EXPECT_EQ(r.cells[0][0], Value(15.0));  // Antwerp: 10 + 5.
+  EXPECT_EQ(r.cells[1][0], Value(4.0));
+}
+
+TEST(MdxEngineTest, NoRowsAxisGivesGrandTotal) {
+  MdxEngine engine = MakeEngine();
+  auto result = engine.ExecuteString(
+      "SELECT {[Measures].[amount]} ON COLUMNS FROM [Sales]");
+  ASSERT_TRUE(result.ok());
+  const MdxResult& r = result.ValueOrDie();
+  ASSERT_EQ(r.cells.size(), 1u);
+  EXPECT_EQ(r.cells[0][0], Value(26.0));
+}
+
+TEST(MdxEngineTest, MeasureAggregateOverride) {
+  MdxEngine engine = MakeEngine();
+  engine.SetMeasureAggregate("Sales", "amount", AggFunction::kCount);
+  auto result = engine.ExecuteString(
+      "SELECT {[Measures].[amount]} ON COLUMNS, "
+      "{[Geo].[country].Members} ON ROWS FROM [Sales]");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie().cells[0][0], Value(int64_t{3}));  // Belgium.
+}
+
+TEST(MdxEngineTest, MultipleMeasuresAndCrossLevels) {
+  MdxEngine engine = MakeEngine();
+  auto result = engine.ExecuteString(
+      "SELECT {[Measures].[amount]} ON COLUMNS, "
+      "{[Geo].[country].[Belgium], [Geo].[city].[Paris]} ON ROWS "
+      "FROM [Sales]");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const MdxResult& r = result.ValueOrDie();
+  EXPECT_EQ(r.cells[0][0], Value(22.0));  // Country-level coordinate.
+  EXPECT_EQ(r.cells[1][0], Value(4.0));   // City-level coordinate.
+}
+
+TEST(MdxEngineTest, Errors) {
+  MdxEngine engine = MakeEngine();
+  EXPECT_TRUE(engine
+                  .ExecuteString(
+                      "SELECT {[Measures].[amount]} ON COLUMNS FROM [Nope]")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(engine
+                  .ExecuteString(
+                      "SELECT {[Measures].[ghost]} ON COLUMNS FROM [Sales]")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(engine
+                  .ExecuteString(
+                      "SELECT {[Bogus].[x].Members} ON COLUMNS FROM [Sales]")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(MdxEngineTest, EmptyCellWhenNoMeasure) {
+  MdxEngine engine = MakeEngine();
+  auto result = engine.ExecuteString(
+      "SELECT {[Geo].[country].[Belgium]} ON COLUMNS, "
+      "{[Geo].[country].[France]} ON ROWS FROM [Sales]");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.ValueOrDie().cells[0][0].is_null());
+}
+
+}  // namespace
+}  // namespace piet::olap::mdx

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "workload/city.h"
+#include "workload/scenario.h"
+#include "workload/trajectories.h"
+
+namespace piet::workload {
+namespace {
+
+TEST(CityGeneratorTest, PartitionCoversExtent) {
+  CityConfig config;
+  config.grid_cols = 5;
+  config.grid_rows = 4;
+  auto city = GenerateCity(config);
+  ASSERT_TRUE(city.ok()) << city.status().ToString();
+  const City& c = city.ValueOrDie();
+
+  auto layer = c.db->gis().GetLayer(c.neighborhoods_layer).ValueOrDie();
+  EXPECT_EQ(layer->size(), 20u);
+  EXPECT_NEAR(layer->TotalMeasure(), c.extent.Area(), 1e-6);
+  // Every interior point lies in at least one neighborhood.
+  Random rng(1);
+  for (int i = 0; i < 200; ++i) {
+    geometry::Point p(rng.UniformDouble(0.01, c.extent.max_x - 0.01),
+                      rng.UniformDouble(0.01, c.extent.max_y - 0.01));
+    EXPECT_FALSE(layer->GeometriesContaining(p).empty()) << p.ToString();
+  }
+}
+
+TEST(CityGeneratorTest, NonConvexBlocksStillPartition) {
+  CityConfig config;
+  config.grid_cols = 6;
+  config.grid_rows = 6;
+  config.nonconvex_fraction = 1.0;  // Every 2x2 block becomes L + square.
+  auto city = GenerateCity(config);
+  ASSERT_TRUE(city.ok());
+  const City& c = city.ValueOrDie();
+  auto layer = c.db->gis().GetLayer(c.neighborhoods_layer).ValueOrDie();
+  EXPECT_NEAR(layer->TotalMeasure(), c.extent.Area(), 1e-6);
+  // Some polygons are genuinely non-convex.
+  bool any_nonconvex = false;
+  for (gis::GeometryId id : layer->ids()) {
+    if (!layer->GetPolygon(id).ValueOrDie()->IsConvex()) {
+      any_nonconvex = true;
+    }
+  }
+  EXPECT_TRUE(any_nonconvex);
+  // The convex overlay must refuse; the quadtree must work.
+  EXPECT_FALSE(c.db->BuildOverlay({c.neighborhoods_layer}, true).ok());
+  EXPECT_TRUE(c.db->BuildOverlay({c.neighborhoods_layer}, false, 8).ok());
+}
+
+TEST(CityGeneratorTest, DeterministicAcrossRuns) {
+  CityConfig config;
+  config.seed = 77;
+  auto a = GenerateCity(config);
+  auto b = GenerateCity(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto la =
+      a.ValueOrDie().db->gis().GetLayer("neighborhoods").ValueOrDie();
+  auto lb =
+      b.ValueOrDie().db->gis().GetLayer("neighborhoods").ValueOrDie();
+  ASSERT_EQ(la->size(), lb->size());
+  for (gis::GeometryId id : la->ids()) {
+    EXPECT_EQ(la->GetAttribute(id, "income").ValueOrDie(),
+              lb->GetAttribute(id, "income").ValueOrDie());
+  }
+}
+
+TEST(CityGeneratorTest, SchemaAndBindingsConsistent) {
+  auto city = GenerateCity(CityConfig{});
+  ASSERT_TRUE(city.ok());
+  const City& c = city.ValueOrDie();
+  EXPECT_TRUE(c.db->gis().CheckConsistency().ok());
+  // Every neighborhood has an alpha binding.
+  auto members = c.db->gis().AlphaMembers("neighborhood").ValueOrDie();
+  EXPECT_EQ(static_cast<int>(members.size()), c.num_neighborhoods);
+}
+
+TEST(CityGeneratorTest, ConfigValidation) {
+  CityConfig bad;
+  bad.grid_cols = 0;
+  EXPECT_TRUE(GenerateCity(bad).status().IsInvalidArgument());
+  CityConfig bad_streets;
+  bad_streets.streets_per_axis = 1;
+  EXPECT_TRUE(GenerateCity(bad_streets).status().IsInvalidArgument());
+}
+
+class TrajectoryGeneratorTest
+    : public ::testing::TestWithParam<MovementModel> {};
+
+TEST_P(TrajectoryGeneratorTest, ProducesWellFormedMoft) {
+  auto city = GenerateCity(CityConfig{});
+  ASSERT_TRUE(city.ok());
+
+  TrajectoryConfig config;
+  config.num_objects = 10;
+  config.duration = 3600.0;
+  config.sample_period = 60.0;
+  config.speed = 8.0;
+  config.model = GetParam();
+  auto moft = GenerateTrajectories(city.ValueOrDie(), config);
+  ASSERT_TRUE(moft.ok()) << moft.status().ToString();
+  const moving::Moft& m = moft.ValueOrDie();
+  EXPECT_EQ(m.num_objects(), 10u);
+  EXPECT_EQ(m.num_samples(), 10u * 61u);  // 0..3600 inclusive.
+
+  // Sampling grid honored and speeds bounded by config.speed.
+  for (moving::ObjectId oid : m.ObjectIds()) {
+    const auto& samples = m.SamplesOf(oid);
+    for (size_t i = 1; i < samples.size(); ++i) {
+      double dt = samples[i].t - samples[i - 1].t;
+      EXPECT_DOUBLE_EQ(dt, 60.0);
+      double dist = Distance(samples[i].pos, samples[i - 1].pos);
+      EXPECT_LE(dist, config.speed * dt * (1.0 + 1e-9));
+    }
+  }
+}
+
+TEST_P(TrajectoryGeneratorTest, Deterministic) {
+  auto city = GenerateCity(CityConfig{});
+  ASSERT_TRUE(city.ok());
+  TrajectoryConfig config;
+  config.num_objects = 3;
+  config.duration = 600.0;
+  config.sample_period = 60.0;
+  config.model = GetParam();
+  auto a = GenerateTrajectories(city.ValueOrDie(), config);
+  auto b = GenerateTrajectories(city.ValueOrDie(), config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.ValueOrDie().AllSamples().size(),
+            b.ValueOrDie().AllSamples().size());
+  auto sa = a.ValueOrDie().AllSamples();
+  auto sb = b.ValueOrDie().AllSamples();
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_TRUE(sa[i] == sb[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, TrajectoryGeneratorTest,
+                         ::testing::Values(MovementModel::kRandomWaypoint,
+                                           MovementModel::kStreetNetwork,
+                                           MovementModel::kCommuter));
+
+TEST(TrajectoryGeneratorTest, ConfigValidation) {
+  auto city = GenerateCity(CityConfig{});
+  ASSERT_TRUE(city.ok());
+  TrajectoryConfig bad;
+  bad.num_objects = 0;
+  EXPECT_TRUE(GenerateTrajectories(city.ValueOrDie(), bad)
+                  .status()
+                  .IsInvalidArgument());
+  TrajectoryConfig bad_period;
+  bad_period.sample_period = 0.0;
+  EXPECT_TRUE(GenerateTrajectories(city.ValueOrDie(), bad_period)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ScenarioTest, Figure1Topology) {
+  auto scenario = BuildFigure1Scenario();
+  ASSERT_TRUE(scenario.ok());
+  const Figure1Scenario& s = scenario.ValueOrDie();
+
+  auto ln = s.db->gis().GetLayer(s.neighborhoods_layer).ValueOrDie();
+  EXPECT_EQ(ln->size(), 6u);
+  // Exactly one low-income neighborhood.
+  int low = 0;
+  for (gis::GeometryId id : ln->ids()) {
+    double income = ln->GetAttribute(id, "income")
+                        .ValueOrDie()
+                        .AsNumeric()
+                        .ValueOrDie();
+    if (income < s.income_threshold) {
+      ++low;
+      EXPECT_EQ(id, s.low_income_neighborhood);
+    }
+  }
+  EXPECT_EQ(low, 1);
+
+  // Table 1 shape: 12 rows, 6 objects.
+  auto moft = s.db->GetMoft(s.moft_name).ValueOrDie();
+  EXPECT_EQ(moft->num_samples(), 12u);
+  EXPECT_EQ(moft->num_objects(), 6u);
+  EXPECT_EQ(moft->SamplesOf(s.o1).size(), 4u);
+  EXPECT_EQ(moft->SamplesOf(s.o6).size(), 2u);
+
+  // GIS consistency.
+  EXPECT_TRUE(s.db->gis().CheckConsistency().ok());
+}
+
+TEST(ScenarioTest, ReplicationScalesLinearly) {
+  auto s1 = BuildFigure1Scenario(1);
+  auto s3 = BuildFigure1Scenario(3);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s3.ok());
+  EXPECT_EQ(s3.ValueOrDie().db->GetMoft("FMbus").ValueOrDie()->num_samples(),
+            3 * s1.ValueOrDie().db->GetMoft("FMbus").ValueOrDie()
+                ->num_samples());
+  EXPECT_TRUE(BuildFigure1Scenario(0).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace piet::workload
