@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_agg_rtree.dir/bench_agg_rtree.cc.o"
+  "CMakeFiles/bench_agg_rtree.dir/bench_agg_rtree.cc.o.d"
+  "bench_agg_rtree"
+  "bench_agg_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_agg_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

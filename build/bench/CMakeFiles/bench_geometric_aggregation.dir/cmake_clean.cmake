@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_geometric_aggregation.dir/bench_geometric_aggregation.cc.o"
+  "CMakeFiles/bench_geometric_aggregation.dir/bench_geometric_aggregation.cc.o.d"
+  "bench_geometric_aggregation"
+  "bench_geometric_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_geometric_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_olap_rollup.dir/bench_olap_rollup.cc.o"
+  "CMakeFiles/bench_olap_rollup.dir/bench_olap_rollup.cc.o.d"
+  "bench_olap_rollup"
+  "bench_olap_rollup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_olap_rollup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

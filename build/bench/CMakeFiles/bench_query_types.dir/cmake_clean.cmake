@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_types.dir/bench_query_types.cc.o"
+  "CMakeFiles/bench_query_types.dir/bench_query_types.cc.o.d"
+  "bench_query_types"
+  "bench_query_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

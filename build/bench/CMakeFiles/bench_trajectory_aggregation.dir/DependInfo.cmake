@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_trajectory_aggregation.cc" "bench/CMakeFiles/bench_trajectory_aggregation.dir/bench_trajectory_aggregation.cc.o" "gcc" "bench/CMakeFiles/bench_trajectory_aggregation.dir/bench_trajectory_aggregation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/piet_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/piet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gis/CMakeFiles/piet_gis.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/piet_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/moving/CMakeFiles/piet_moving.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/piet_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/olap/CMakeFiles/piet_olap.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/piet_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/piet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trajectory_aggregation.dir/bench_trajectory_aggregation.cc.o"
+  "CMakeFiles/bench_trajectory_aggregation.dir/bench_trajectory_aggregation.cc.o.d"
+  "bench_trajectory_aggregation"
+  "bench_trajectory_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trajectory_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

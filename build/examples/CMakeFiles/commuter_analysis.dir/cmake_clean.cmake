@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commuter_analysis.dir/commuter_analysis.cpp.o"
+  "CMakeFiles/commuter_analysis.dir/commuter_analysis.cpp.o.d"
+  "commuter_analysis"
+  "commuter_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commuter_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

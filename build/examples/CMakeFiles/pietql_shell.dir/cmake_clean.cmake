@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pietql_shell.dir/pietql_shell.cpp.o"
+  "CMakeFiles/pietql_shell.dir/pietql_shell.cpp.o.d"
+  "pietql_shell"
+  "pietql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pietql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

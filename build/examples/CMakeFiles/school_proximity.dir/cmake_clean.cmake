@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/school_proximity.dir/school_proximity.cpp.o"
+  "CMakeFiles/school_proximity.dir/school_proximity.cpp.o.d"
+  "school_proximity"
+  "school_proximity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/school_proximity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_density.dir/traffic_density.cpp.o"
+  "CMakeFiles/traffic_density.dir/traffic_density.cpp.o.d"
+  "traffic_density"
+  "traffic_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piet_common.dir/random.cc.o"
+  "CMakeFiles/piet_common.dir/random.cc.o.d"
+  "CMakeFiles/piet_common.dir/status.cc.o"
+  "CMakeFiles/piet_common.dir/status.cc.o.d"
+  "CMakeFiles/piet_common.dir/string_util.cc.o"
+  "CMakeFiles/piet_common.dir/string_util.cc.o.d"
+  "CMakeFiles/piet_common.dir/value.cc.o"
+  "CMakeFiles/piet_common.dir/value.cc.o.d"
+  "libpiet_common.a"
+  "libpiet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpiet_common.a"
+)

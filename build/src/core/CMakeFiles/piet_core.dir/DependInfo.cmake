@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/database.cc" "src/core/CMakeFiles/piet_core.dir/database.cc.o" "gcc" "src/core/CMakeFiles/piet_core.dir/database.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/piet_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/piet_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/pietql/evaluator.cc" "src/core/CMakeFiles/piet_core.dir/pietql/evaluator.cc.o" "gcc" "src/core/CMakeFiles/piet_core.dir/pietql/evaluator.cc.o.d"
+  "/root/repo/src/core/pietql/lexer.cc" "src/core/CMakeFiles/piet_core.dir/pietql/lexer.cc.o" "gcc" "src/core/CMakeFiles/piet_core.dir/pietql/lexer.cc.o.d"
+  "/root/repo/src/core/pietql/parser.cc" "src/core/CMakeFiles/piet_core.dir/pietql/parser.cc.o" "gcc" "src/core/CMakeFiles/piet_core.dir/pietql/parser.cc.o.d"
+  "/root/repo/src/core/pietql/printer.cc" "src/core/CMakeFiles/piet_core.dir/pietql/printer.cc.o" "gcc" "src/core/CMakeFiles/piet_core.dir/pietql/printer.cc.o.d"
+  "/root/repo/src/core/queries.cc" "src/core/CMakeFiles/piet_core.dir/queries.cc.o" "gcc" "src/core/CMakeFiles/piet_core.dir/queries.cc.o.d"
+  "/root/repo/src/core/region.cc" "src/core/CMakeFiles/piet_core.dir/region.cc.o" "gcc" "src/core/CMakeFiles/piet_core.dir/region.cc.o.d"
+  "/root/repo/src/core/summable.cc" "src/core/CMakeFiles/piet_core.dir/summable.cc.o" "gcc" "src/core/CMakeFiles/piet_core.dir/summable.cc.o.d"
+  "/root/repo/src/core/timeseries.cc" "src/core/CMakeFiles/piet_core.dir/timeseries.cc.o" "gcc" "src/core/CMakeFiles/piet_core.dir/timeseries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/piet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/piet_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/gis/CMakeFiles/piet_gis.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/piet_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/moving/CMakeFiles/piet_moving.dir/DependInfo.cmake"
+  "/root/repo/build/src/olap/CMakeFiles/piet_olap.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/piet_temporal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piet_core.dir/database.cc.o"
+  "CMakeFiles/piet_core.dir/database.cc.o.d"
+  "CMakeFiles/piet_core.dir/engine.cc.o"
+  "CMakeFiles/piet_core.dir/engine.cc.o.d"
+  "CMakeFiles/piet_core.dir/pietql/evaluator.cc.o"
+  "CMakeFiles/piet_core.dir/pietql/evaluator.cc.o.d"
+  "CMakeFiles/piet_core.dir/pietql/lexer.cc.o"
+  "CMakeFiles/piet_core.dir/pietql/lexer.cc.o.d"
+  "CMakeFiles/piet_core.dir/pietql/parser.cc.o"
+  "CMakeFiles/piet_core.dir/pietql/parser.cc.o.d"
+  "CMakeFiles/piet_core.dir/pietql/printer.cc.o"
+  "CMakeFiles/piet_core.dir/pietql/printer.cc.o.d"
+  "CMakeFiles/piet_core.dir/queries.cc.o"
+  "CMakeFiles/piet_core.dir/queries.cc.o.d"
+  "CMakeFiles/piet_core.dir/region.cc.o"
+  "CMakeFiles/piet_core.dir/region.cc.o.d"
+  "CMakeFiles/piet_core.dir/summable.cc.o"
+  "CMakeFiles/piet_core.dir/summable.cc.o.d"
+  "CMakeFiles/piet_core.dir/timeseries.cc.o"
+  "CMakeFiles/piet_core.dir/timeseries.cc.o.d"
+  "libpiet_core.a"
+  "libpiet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/box.cc" "src/geometry/CMakeFiles/piet_geometry.dir/box.cc.o" "gcc" "src/geometry/CMakeFiles/piet_geometry.dir/box.cc.o.d"
+  "/root/repo/src/geometry/clip.cc" "src/geometry/CMakeFiles/piet_geometry.dir/clip.cc.o" "gcc" "src/geometry/CMakeFiles/piet_geometry.dir/clip.cc.o.d"
+  "/root/repo/src/geometry/distance.cc" "src/geometry/CMakeFiles/piet_geometry.dir/distance.cc.o" "gcc" "src/geometry/CMakeFiles/piet_geometry.dir/distance.cc.o.d"
+  "/root/repo/src/geometry/point.cc" "src/geometry/CMakeFiles/piet_geometry.dir/point.cc.o" "gcc" "src/geometry/CMakeFiles/piet_geometry.dir/point.cc.o.d"
+  "/root/repo/src/geometry/polygon.cc" "src/geometry/CMakeFiles/piet_geometry.dir/polygon.cc.o" "gcc" "src/geometry/CMakeFiles/piet_geometry.dir/polygon.cc.o.d"
+  "/root/repo/src/geometry/polyline.cc" "src/geometry/CMakeFiles/piet_geometry.dir/polyline.cc.o" "gcc" "src/geometry/CMakeFiles/piet_geometry.dir/polyline.cc.o.d"
+  "/root/repo/src/geometry/predicates.cc" "src/geometry/CMakeFiles/piet_geometry.dir/predicates.cc.o" "gcc" "src/geometry/CMakeFiles/piet_geometry.dir/predicates.cc.o.d"
+  "/root/repo/src/geometry/segment.cc" "src/geometry/CMakeFiles/piet_geometry.dir/segment.cc.o" "gcc" "src/geometry/CMakeFiles/piet_geometry.dir/segment.cc.o.d"
+  "/root/repo/src/geometry/segment_polygon.cc" "src/geometry/CMakeFiles/piet_geometry.dir/segment_polygon.cc.o" "gcc" "src/geometry/CMakeFiles/piet_geometry.dir/segment_polygon.cc.o.d"
+  "/root/repo/src/geometry/wkt.cc" "src/geometry/CMakeFiles/piet_geometry.dir/wkt.cc.o" "gcc" "src/geometry/CMakeFiles/piet_geometry.dir/wkt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/piet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

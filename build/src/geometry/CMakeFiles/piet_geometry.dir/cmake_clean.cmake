@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piet_geometry.dir/box.cc.o"
+  "CMakeFiles/piet_geometry.dir/box.cc.o.d"
+  "CMakeFiles/piet_geometry.dir/clip.cc.o"
+  "CMakeFiles/piet_geometry.dir/clip.cc.o.d"
+  "CMakeFiles/piet_geometry.dir/distance.cc.o"
+  "CMakeFiles/piet_geometry.dir/distance.cc.o.d"
+  "CMakeFiles/piet_geometry.dir/point.cc.o"
+  "CMakeFiles/piet_geometry.dir/point.cc.o.d"
+  "CMakeFiles/piet_geometry.dir/polygon.cc.o"
+  "CMakeFiles/piet_geometry.dir/polygon.cc.o.d"
+  "CMakeFiles/piet_geometry.dir/polyline.cc.o"
+  "CMakeFiles/piet_geometry.dir/polyline.cc.o.d"
+  "CMakeFiles/piet_geometry.dir/predicates.cc.o"
+  "CMakeFiles/piet_geometry.dir/predicates.cc.o.d"
+  "CMakeFiles/piet_geometry.dir/segment.cc.o"
+  "CMakeFiles/piet_geometry.dir/segment.cc.o.d"
+  "CMakeFiles/piet_geometry.dir/segment_polygon.cc.o"
+  "CMakeFiles/piet_geometry.dir/segment_polygon.cc.o.d"
+  "CMakeFiles/piet_geometry.dir/wkt.cc.o"
+  "CMakeFiles/piet_geometry.dir/wkt.cc.o.d"
+  "libpiet_geometry.a"
+  "libpiet_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piet_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gis/density.cc" "src/gis/CMakeFiles/piet_gis.dir/density.cc.o" "gcc" "src/gis/CMakeFiles/piet_gis.dir/density.cc.o.d"
+  "/root/repo/src/gis/fact_table.cc" "src/gis/CMakeFiles/piet_gis.dir/fact_table.cc.o" "gcc" "src/gis/CMakeFiles/piet_gis.dir/fact_table.cc.o.d"
+  "/root/repo/src/gis/instance.cc" "src/gis/CMakeFiles/piet_gis.dir/instance.cc.o" "gcc" "src/gis/CMakeFiles/piet_gis.dir/instance.cc.o.d"
+  "/root/repo/src/gis/io.cc" "src/gis/CMakeFiles/piet_gis.dir/io.cc.o" "gcc" "src/gis/CMakeFiles/piet_gis.dir/io.cc.o.d"
+  "/root/repo/src/gis/layer.cc" "src/gis/CMakeFiles/piet_gis.dir/layer.cc.o" "gcc" "src/gis/CMakeFiles/piet_gis.dir/layer.cc.o.d"
+  "/root/repo/src/gis/overlay.cc" "src/gis/CMakeFiles/piet_gis.dir/overlay.cc.o" "gcc" "src/gis/CMakeFiles/piet_gis.dir/overlay.cc.o.d"
+  "/root/repo/src/gis/schema.cc" "src/gis/CMakeFiles/piet_gis.dir/schema.cc.o" "gcc" "src/gis/CMakeFiles/piet_gis.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/piet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/piet_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/piet_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/olap/CMakeFiles/piet_olap.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/piet_temporal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piet_gis.dir/density.cc.o"
+  "CMakeFiles/piet_gis.dir/density.cc.o.d"
+  "CMakeFiles/piet_gis.dir/fact_table.cc.o"
+  "CMakeFiles/piet_gis.dir/fact_table.cc.o.d"
+  "CMakeFiles/piet_gis.dir/instance.cc.o"
+  "CMakeFiles/piet_gis.dir/instance.cc.o.d"
+  "CMakeFiles/piet_gis.dir/io.cc.o"
+  "CMakeFiles/piet_gis.dir/io.cc.o.d"
+  "CMakeFiles/piet_gis.dir/layer.cc.o"
+  "CMakeFiles/piet_gis.dir/layer.cc.o.d"
+  "CMakeFiles/piet_gis.dir/overlay.cc.o"
+  "CMakeFiles/piet_gis.dir/overlay.cc.o.d"
+  "CMakeFiles/piet_gis.dir/schema.cc.o"
+  "CMakeFiles/piet_gis.dir/schema.cc.o.d"
+  "libpiet_gis.a"
+  "libpiet_gis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piet_gis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

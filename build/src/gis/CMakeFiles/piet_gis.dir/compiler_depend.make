@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for piet_gis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piet_index.dir/agg_rtree.cc.o"
+  "CMakeFiles/piet_index.dir/agg_rtree.cc.o.d"
+  "CMakeFiles/piet_index.dir/grid.cc.o"
+  "CMakeFiles/piet_index.dir/grid.cc.o.d"
+  "CMakeFiles/piet_index.dir/rtree.cc.o"
+  "CMakeFiles/piet_index.dir/rtree.cc.o.d"
+  "libpiet_index.a"
+  "libpiet_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piet_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

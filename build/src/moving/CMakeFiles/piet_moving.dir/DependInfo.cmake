@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moving/bead.cc" "src/moving/CMakeFiles/piet_moving.dir/bead.cc.o" "gcc" "src/moving/CMakeFiles/piet_moving.dir/bead.cc.o.d"
+  "/root/repo/src/moving/heatmap.cc" "src/moving/CMakeFiles/piet_moving.dir/heatmap.cc.o" "gcc" "src/moving/CMakeFiles/piet_moving.dir/heatmap.cc.o.d"
+  "/root/repo/src/moving/moft.cc" "src/moving/CMakeFiles/piet_moving.dir/moft.cc.o" "gcc" "src/moving/CMakeFiles/piet_moving.dir/moft.cc.o.d"
+  "/root/repo/src/moving/simplify.cc" "src/moving/CMakeFiles/piet_moving.dir/simplify.cc.o" "gcc" "src/moving/CMakeFiles/piet_moving.dir/simplify.cc.o.d"
+  "/root/repo/src/moving/traj_ops.cc" "src/moving/CMakeFiles/piet_moving.dir/traj_ops.cc.o" "gcc" "src/moving/CMakeFiles/piet_moving.dir/traj_ops.cc.o.d"
+  "/root/repo/src/moving/trajectory.cc" "src/moving/CMakeFiles/piet_moving.dir/trajectory.cc.o" "gcc" "src/moving/CMakeFiles/piet_moving.dir/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/piet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/piet_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/olap/CMakeFiles/piet_olap.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/piet_temporal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

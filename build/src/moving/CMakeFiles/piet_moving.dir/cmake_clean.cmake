@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piet_moving.dir/bead.cc.o"
+  "CMakeFiles/piet_moving.dir/bead.cc.o.d"
+  "CMakeFiles/piet_moving.dir/heatmap.cc.o"
+  "CMakeFiles/piet_moving.dir/heatmap.cc.o.d"
+  "CMakeFiles/piet_moving.dir/moft.cc.o"
+  "CMakeFiles/piet_moving.dir/moft.cc.o.d"
+  "CMakeFiles/piet_moving.dir/simplify.cc.o"
+  "CMakeFiles/piet_moving.dir/simplify.cc.o.d"
+  "CMakeFiles/piet_moving.dir/traj_ops.cc.o"
+  "CMakeFiles/piet_moving.dir/traj_ops.cc.o.d"
+  "CMakeFiles/piet_moving.dir/trajectory.cc.o"
+  "CMakeFiles/piet_moving.dir/trajectory.cc.o.d"
+  "libpiet_moving.a"
+  "libpiet_moving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piet_moving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

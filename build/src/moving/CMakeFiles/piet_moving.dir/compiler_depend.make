@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for piet_moving.
+# This may be replaced when dependencies are built.

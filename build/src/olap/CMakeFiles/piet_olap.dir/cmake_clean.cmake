@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piet_olap.dir/aggregate.cc.o"
+  "CMakeFiles/piet_olap.dir/aggregate.cc.o.d"
+  "CMakeFiles/piet_olap.dir/cube.cc.o"
+  "CMakeFiles/piet_olap.dir/cube.cc.o.d"
+  "CMakeFiles/piet_olap.dir/dimension.cc.o"
+  "CMakeFiles/piet_olap.dir/dimension.cc.o.d"
+  "CMakeFiles/piet_olap.dir/fact_table.cc.o"
+  "CMakeFiles/piet_olap.dir/fact_table.cc.o.d"
+  "CMakeFiles/piet_olap.dir/mdx.cc.o"
+  "CMakeFiles/piet_olap.dir/mdx.cc.o.d"
+  "libpiet_olap.a"
+  "libpiet_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piet_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/temporal/calendar.cc" "src/temporal/CMakeFiles/piet_temporal.dir/calendar.cc.o" "gcc" "src/temporal/CMakeFiles/piet_temporal.dir/calendar.cc.o.d"
+  "/root/repo/src/temporal/interval.cc" "src/temporal/CMakeFiles/piet_temporal.dir/interval.cc.o" "gcc" "src/temporal/CMakeFiles/piet_temporal.dir/interval.cc.o.d"
+  "/root/repo/src/temporal/time_dimension.cc" "src/temporal/CMakeFiles/piet_temporal.dir/time_dimension.cc.o" "gcc" "src/temporal/CMakeFiles/piet_temporal.dir/time_dimension.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/piet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

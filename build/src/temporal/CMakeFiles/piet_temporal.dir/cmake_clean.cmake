@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piet_temporal.dir/calendar.cc.o"
+  "CMakeFiles/piet_temporal.dir/calendar.cc.o.d"
+  "CMakeFiles/piet_temporal.dir/interval.cc.o"
+  "CMakeFiles/piet_temporal.dir/interval.cc.o.d"
+  "CMakeFiles/piet_temporal.dir/time_dimension.cc.o"
+  "CMakeFiles/piet_temporal.dir/time_dimension.cc.o.d"
+  "libpiet_temporal.a"
+  "libpiet_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piet_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

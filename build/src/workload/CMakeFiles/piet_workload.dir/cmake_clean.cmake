@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piet_workload.dir/city.cc.o"
+  "CMakeFiles/piet_workload.dir/city.cc.o.d"
+  "CMakeFiles/piet_workload.dir/scenario.cc.o"
+  "CMakeFiles/piet_workload.dir/scenario.cc.o.d"
+  "CMakeFiles/piet_workload.dir/trajectories.cc.o"
+  "CMakeFiles/piet_workload.dir/trajectories.cc.o.d"
+  "libpiet_workload.a"
+  "libpiet_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piet_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

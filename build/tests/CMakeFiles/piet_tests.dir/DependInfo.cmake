@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/piet_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_database_test.cc" "tests/CMakeFiles/piet_tests.dir/core_database_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/core_database_test.cc.o.d"
+  "/root/repo/tests/core_engine_test.cc" "tests/CMakeFiles/piet_tests.dir/core_engine_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/core_engine_test.cc.o.d"
+  "/root/repo/tests/core_pietql_printer_test.cc" "tests/CMakeFiles/piet_tests.dir/core_pietql_printer_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/core_pietql_printer_test.cc.o.d"
+  "/root/repo/tests/core_pietql_test.cc" "tests/CMakeFiles/piet_tests.dir/core_pietql_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/core_pietql_test.cc.o.d"
+  "/root/repo/tests/core_summable_test.cc" "tests/CMakeFiles/piet_tests.dir/core_summable_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/core_summable_test.cc.o.d"
+  "/root/repo/tests/core_timeseries_test.cc" "tests/CMakeFiles/piet_tests.dir/core_timeseries_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/core_timeseries_test.cc.o.d"
+  "/root/repo/tests/geometry_clip_wkt_test.cc" "tests/CMakeFiles/piet_tests.dir/geometry_clip_wkt_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/geometry_clip_wkt_test.cc.o.d"
+  "/root/repo/tests/geometry_distance_test.cc" "tests/CMakeFiles/piet_tests.dir/geometry_distance_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/geometry_distance_test.cc.o.d"
+  "/root/repo/tests/geometry_polygon_test.cc" "tests/CMakeFiles/piet_tests.dir/geometry_polygon_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/geometry_polygon_test.cc.o.d"
+  "/root/repo/tests/geometry_polyline_test.cc" "tests/CMakeFiles/piet_tests.dir/geometry_polyline_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/geometry_polyline_test.cc.o.d"
+  "/root/repo/tests/geometry_predicates_test.cc" "tests/CMakeFiles/piet_tests.dir/geometry_predicates_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/geometry_predicates_test.cc.o.d"
+  "/root/repo/tests/geometry_segment_polygon_test.cc" "tests/CMakeFiles/piet_tests.dir/geometry_segment_polygon_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/geometry_segment_polygon_test.cc.o.d"
+  "/root/repo/tests/gis_fact_table_test.cc" "tests/CMakeFiles/piet_tests.dir/gis_fact_table_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/gis_fact_table_test.cc.o.d"
+  "/root/repo/tests/gis_io_test.cc" "tests/CMakeFiles/piet_tests.dir/gis_io_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/gis_io_test.cc.o.d"
+  "/root/repo/tests/gis_overlay_test.cc" "tests/CMakeFiles/piet_tests.dir/gis_overlay_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/gis_overlay_test.cc.o.d"
+  "/root/repo/tests/gis_test.cc" "tests/CMakeFiles/piet_tests.dir/gis_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/gis_test.cc.o.d"
+  "/root/repo/tests/index_test.cc" "tests/CMakeFiles/piet_tests.dir/index_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/index_test.cc.o.d"
+  "/root/repo/tests/moving_simplify_heatmap_test.cc" "tests/CMakeFiles/piet_tests.dir/moving_simplify_heatmap_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/moving_simplify_heatmap_test.cc.o.d"
+  "/root/repo/tests/moving_test.cc" "tests/CMakeFiles/piet_tests.dir/moving_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/moving_test.cc.o.d"
+  "/root/repo/tests/moving_traj_ops_test.cc" "tests/CMakeFiles/piet_tests.dir/moving_traj_ops_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/moving_traj_ops_test.cc.o.d"
+  "/root/repo/tests/olap_mdx_test.cc" "tests/CMakeFiles/piet_tests.dir/olap_mdx_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/olap_mdx_test.cc.o.d"
+  "/root/repo/tests/olap_test.cc" "tests/CMakeFiles/piet_tests.dir/olap_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/olap_test.cc.o.d"
+  "/root/repo/tests/temporal_test.cc" "tests/CMakeFiles/piet_tests.dir/temporal_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/temporal_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/piet_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/piet_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/piet_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/piet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gis/CMakeFiles/piet_gis.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/piet_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/moving/CMakeFiles/piet_moving.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/piet_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/olap/CMakeFiles/piet_olap.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/piet_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/piet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
