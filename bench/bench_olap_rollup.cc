@@ -28,17 +28,25 @@ using piet::olap::FactTable;
 constexpr int kCities = 64;
 constexpr int kCountries = 8;
 
+// Two-step concatenation: `"C" + std::to_string(c)` trips GCC 12's
+// -Wrestrict false positive (PR105329) when inlined at -O2.
+std::string Tagged(char tag, long long n) {
+  std::string s(1, tag);
+  s += std::to_string(n);
+  return s;
+}
+
 std::shared_ptr<DimensionInstance> MakeGeoDim() {
   DimensionSchema schema("Geo", "city");
   (void)schema.AddEdge("city", "country");
   (void)schema.AddEdge("country", DimensionSchema::kAll);
   auto dim = std::make_shared<DimensionInstance>(schema);
   for (int c = 0; c < kCities; ++c) {
-    (void)dim->AddRollup("city", Value("C" + std::to_string(c)), "country",
-                         Value("K" + std::to_string(c % kCountries)));
+    (void)dim->AddRollup("city", Value(Tagged('C', c)), "country",
+                         Value(Tagged('K', c % kCountries)));
   }
   for (int k = 0; k < kCountries; ++k) {
-    (void)dim->AddRollup("country", Value("K" + std::to_string(k)),
+    (void)dim->AddRollup("country", Value(Tagged('K', k)),
                          DimensionSchema::kAll, Value("all"));
   }
   return dim;
@@ -48,7 +56,7 @@ FactTable MakeFacts(size_t rows, uint64_t seed) {
   Random rng(seed);
   FactTable t = FactTable::Make({"city"}, {"amount"});
   for (size_t i = 0; i < rows; ++i) {
-    (void)t.Append({Value("C" + std::to_string(rng.Uniform(kCities))),
+    (void)t.Append({Value(Tagged('C', rng.Uniform(kCities))),
                     Value(rng.UniformDouble(0, 100))});
   }
   return t;

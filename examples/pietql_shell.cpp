@@ -4,6 +4,7 @@
 // Usage:
 //   pietql_shell                # interactive (reads stdin)
 //   echo "<query>" | pietql_shell
+//   PIETQL_CHECK=strict pietql_shell   # semantic analysis: off|warn|strict
 //
 // The database is a deterministic 8x8 city with a 200-car random-waypoint
 // MOFT named `cars`. Available layers: neighborhoods (polygon; attributes
@@ -18,14 +19,37 @@
 //         GROUP BY TIME.hour
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
+#include "analysis/diagnostic.h"
 #include "core/pietql/evaluator.h"
 #include "workload/city.h"
 #include "workload/trajectories.h"
 
+namespace {
+
+piet::analysis::CheckMode CheckModeFromEnv() {
+  const char* mode = std::getenv("PIETQL_CHECK");
+  if (mode == nullptr || std::strcmp(mode, "off") == 0) {
+    return piet::analysis::CheckMode::kOff;
+  }
+  if (std::strcmp(mode, "warn") == 0) {
+    return piet::analysis::CheckMode::kWarn;
+  }
+  if (std::strcmp(mode, "strict") == 0) {
+    return piet::analysis::CheckMode::kStrict;
+  }
+  std::fprintf(stderr, "unknown PIETQL_CHECK '%s' (off|warn|strict)\n", mode);
+  std::exit(2);
+}
+
+}  // namespace
+
 int main() {
+  const piet::analysis::CheckMode check_mode = CheckModeFromEnv();
   piet::workload::CityConfig config;
   config.seed = 1;
   config.grid_cols = 8;
@@ -57,7 +81,7 @@ int main() {
                "one query per line; empty line or EOF quits\n",
                traj.num_objects);
 
-  piet::core::pietql::Evaluator evaluator(city.db.get());
+  piet::core::pietql::Evaluator evaluator(city.db.get(), check_mode);
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) {
@@ -67,6 +91,10 @@ int main() {
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;
+    }
+    for (const piet::analysis::Diagnostic& d :
+         result.ValueOrDie().diagnostics) {
+      std::printf("%s\n", d.ToString().c_str());
     }
     std::printf("%s\n", result.ValueOrDie().ToString().c_str());
   }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Local gate mirroring CI: warnings-as-errors build, full test suite, and
+# (when the tool is installed) clang-tidy over src/. Exits non-zero on the
+# first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-check}"
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== configure (${BUILD_DIR}, -Werror) =="
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DPIET_WERROR=ON >/dev/null
+
+echo "== build =="
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "== test =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+# clang-tidy is optional: the config in .clang-tidy is authoritative, but the
+# toolchain image may only ship GCC. CI runs it in a dedicated job.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy =="
+  mapfile -t sources < <(find src -name '*.cc' | sort)
+  clang-tidy -p "${BUILD_DIR}" --quiet "${sources[@]}"
+else
+  echo "== clang-tidy: not installed, skipping (CI covers it) =="
+fi
+
+echo "== all checks passed =="

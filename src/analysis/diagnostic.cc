@@ -1,0 +1,110 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace piet::analysis {
+
+std::string_view SeverityToString(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string_view CheckModeToString(CheckMode mode) {
+  switch (mode) {
+    case CheckMode::kOff:
+      return "off";
+    case CheckMode::kWarn:
+      return "warn";
+    case CheckMode::kStrict:
+      return "strict";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream os;
+  os << SeverityToString(severity) << " [" << check_id << "] " << entity
+     << ": " << message;
+  return os.str();
+}
+
+void DiagnosticList::Add(Severity severity, std::string check_id,
+                         std::string entity, std::string message) {
+  diagnostics_.push_back(Diagnostic{severity, std::move(check_id),
+                                    std::move(entity), std::move(message)});
+}
+
+void DiagnosticList::Merge(const DiagnosticList& other) {
+  diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
+                      other.diagnostics_.end());
+}
+
+void DiagnosticList::DowngradeErrorsToWarnings() {
+  for (Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::kError) {
+      d.severity = Severity::kWarning;
+    }
+  }
+}
+
+bool DiagnosticList::HasErrors() const { return NumErrors() > 0; }
+
+size_t DiagnosticList::NumErrors() const {
+  return static_cast<size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::kError;
+                    }));
+}
+
+bool DiagnosticList::Has(std::string_view check_id) const {
+  return std::any_of(
+      diagnostics_.begin(), diagnostics_.end(),
+      [check_id](const Diagnostic& d) { return d.check_id == check_id; });
+}
+
+std::vector<std::string> DiagnosticList::CheckIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(diagnostics_.size());
+  for (const Diagnostic& d : diagnostics_) {
+    ids.push_back(d.check_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+std::string DiagnosticList::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < diagnostics_.size(); ++i) {
+    if (i > 0) {
+      os << "\n";
+    }
+    os << diagnostics_[i].ToString();
+  }
+  return os.str();
+}
+
+Status DiagnosticList::ToStatus() const {
+  if (!HasErrors()) {
+    return Status::OK();
+  }
+  std::ostringstream os;
+  os << NumErrors() << " model/query check error(s):";
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::kError) {
+      os << "\n  " << d.ToString();
+    }
+  }
+  return Status::InvalidArgument(os.str());
+}
+
+}  // namespace piet::analysis

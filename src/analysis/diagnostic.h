@@ -1,0 +1,113 @@
+#ifndef PIET_ANALYSIS_DIAGNOSTIC_H_
+#define PIET_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace piet::analysis {
+
+/// Severity of a diagnostic. Errors are well-formedness violations that make
+/// aggregates untrustworthy (the summability preconditions of Defs. 1-3 and
+/// Sec. 4/5); warnings are suspicious but evaluable; notes are informational.
+enum class Severity {
+  kNote = 0,
+  kWarning,
+  kError,
+};
+
+std::string_view SeverityToString(Severity severity);
+
+/// How checkers are wired into evaluation and load paths:
+///  * kOff    — no checks run; behavior is byte-identical to the unchecked
+///              code paths.
+///  * kWarn   — checks run; error diagnostics are downgraded to warnings and
+///              surfaced alongside the result, evaluation proceeds.
+///  * kStrict — checks run; any error diagnostic rejects the operation with
+///              an InvalidArgument status naming the offending entity.
+enum class CheckMode {
+  kOff = 0,
+  kWarn,
+  kStrict,
+};
+
+std::string_view CheckModeToString(CheckMode mode);
+
+/// One finding of a checker: a severity, a stable kebab-case check ID (the
+/// catalog lives in DESIGN.md), the entity it attributes to (layer, MOFT row,
+/// query clause, ...), and a human-readable message.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string check_id;  ///< e.g. "moft-time-monotonic"
+  std::string entity;    ///< e.g. "moft 'FMbus' oid 3" or "WHERE clause 2"
+  std::string message;
+
+  /// "error [moft-time-monotonic] moft 'FMbus' oid 3: ...".
+  std::string ToString() const;
+};
+
+/// An append-only collection of diagnostics with the queries checkers and
+/// their callers need: error presence, per-ID lookup, and rendering either as
+/// text or as a Status for strict-mode gates.
+class DiagnosticList {
+ public:
+  DiagnosticList() = default;
+
+  void Add(Severity severity, std::string check_id, std::string entity,
+           std::string message);
+  void AddError(std::string check_id, std::string entity, std::string message) {
+    Add(Severity::kError, std::move(check_id), std::move(entity),
+        std::move(message));
+  }
+  void AddWarning(std::string check_id, std::string entity,
+                  std::string message) {
+    Add(Severity::kWarning, std::move(check_id), std::move(entity),
+        std::move(message));
+  }
+  void AddNote(std::string check_id, std::string entity, std::string message) {
+    Add(Severity::kNote, std::move(check_id), std::move(entity),
+        std::move(message));
+  }
+
+  /// Appends every diagnostic of `other`.
+  void Merge(const DiagnosticList& other);
+
+  /// Re-labels every error as a warning (the kWarn downgrade).
+  void DowngradeErrorsToWarnings();
+
+  bool empty() const { return diagnostics_.empty(); }
+  size_t size() const { return diagnostics_.size(); }
+  const Diagnostic& operator[](size_t i) const { return diagnostics_[i]; }
+  std::vector<Diagnostic>::const_iterator begin() const {
+    return diagnostics_.begin();
+  }
+  std::vector<Diagnostic>::const_iterator end() const {
+    return diagnostics_.end();
+  }
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  bool HasErrors() const;
+  size_t NumErrors() const;
+
+  /// True if any diagnostic carries `check_id`.
+  bool Has(std::string_view check_id) const;
+
+  /// Distinct check IDs present, sorted.
+  std::vector<std::string> CheckIds() const;
+
+  /// One diagnostic per line.
+  std::string ToString() const;
+
+  /// OK when no error diagnostics are present; otherwise InvalidArgument
+  /// whose message lists every error (the strict-mode rejection).
+  Status ToStatus() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace piet::analysis
+
+#endif  // PIET_ANALYSIS_DIAGNOSTIC_H_

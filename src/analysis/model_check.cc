@@ -1,0 +1,479 @@
+#include "analysis/model_check.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "geometry/clip.h"
+
+namespace piet::analysis {
+
+using gis::GeometryId;
+using gis::GeometryKind;
+using gis::GeometryKindToString;
+using gis::Layer;
+
+namespace {
+
+using KindEdge = std::pair<GeometryKind, GeometryKind>;
+
+std::string KindName(GeometryKind kind) {
+  return std::string(GeometryKindToString(kind));
+}
+
+/// Nodes of a raw edge relation, plus the two distinguished kinds that are
+/// always part of H(L) (Def. 1).
+std::vector<GeometryKind> GraphNodes(const std::vector<KindEdge>& edges) {
+  std::set<GeometryKind> nodes = {GeometryKind::kPoint, GeometryKind::kAll};
+  for (const auto& [fine, coarse] : edges) {
+    nodes.insert(fine);
+    nodes.insert(coarse);
+  }
+  return {nodes.begin(), nodes.end()};
+}
+
+/// All nodes reachable from `start` along edges, excluding `start` unless it
+/// lies on a cycle.
+std::set<GeometryKind> ReachableFrom(GeometryKind start,
+                                     const std::vector<KindEdge>& edges) {
+  std::set<GeometryKind> seen;
+  std::vector<GeometryKind> frontier = {start};
+  while (!frontier.empty()) {
+    GeometryKind cur = frontier.back();
+    frontier.pop_back();
+    for (const auto& [fine, coarse] : edges) {
+      if (fine == cur && seen.insert(coarse).second) {
+        frontier.push_back(coarse);
+      }
+    }
+  }
+  return seen;
+}
+
+bool HasCycle(const std::vector<KindEdge>& edges) {
+  for (GeometryKind node : GraphNodes(edges)) {
+    if (ReachableFrom(node, edges).count(node) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsFinite(const geometry::Point& p) {
+  return std::isfinite(p.x) && std::isfinite(p.y);
+}
+
+std::string FormatPoint(const geometry::Point& p) {
+  std::ostringstream os;
+  os << "(" << p.x << ", " << p.y << ")";
+  return os.str();
+}
+
+}  // namespace
+
+void ModelChecker::CheckGraphEdges(const std::string& entity,
+                                   const std::vector<KindEdge>& edges,
+                                   DiagnosticList* out) const {
+  if (HasCycle(edges)) {
+    out->AddError("schema-graph-acyclic", entity,
+                  "geometry-granularity graph has a cycle; Def. 1 requires "
+                  "H(L) to be a DAG");
+    return;  // Reachability diagnostics would be noise on a cyclic graph.
+  }
+
+  std::vector<GeometryKind> nodes = GraphNodes(edges);
+  std::set<GeometryKind> with_incoming;
+  std::set<GeometryKind> with_outgoing;
+  for (const auto& [fine, coarse] : edges) {
+    with_outgoing.insert(fine);
+    with_incoming.insert(coarse);
+  }
+
+  if (with_incoming.count(GeometryKind::kPoint) > 0) {
+    out->AddError("schema-graph-source", entity,
+                  "'point' has an incoming edge; it must be the unique "
+                  "source of H(L)");
+  }
+  if (with_outgoing.count(GeometryKind::kAll) > 0) {
+    out->AddError("schema-graph-sink", entity,
+                  "'All' has an outgoing edge; it must be the unique sink "
+                  "of H(L)");
+  }
+
+  std::set<GeometryKind> from_point =
+      ReachableFrom(GeometryKind::kPoint, edges);
+  for (GeometryKind node : nodes) {
+    if (node != GeometryKind::kPoint && from_point.count(node) == 0) {
+      out->AddError("schema-graph-source", entity,
+                    "kind '" + KindName(node) +
+                        "' is not reachable from 'point'; H(L) must have "
+                        "'point' as its unique source");
+    }
+    if (node != GeometryKind::kAll &&
+        ReachableFrom(node, edges).count(GeometryKind::kAll) == 0) {
+      out->AddError("schema-graph-sink", entity,
+                    "kind '" + KindName(node) +
+                        "' does not reach 'All'; H(L) must have 'All' as "
+                        "its unique sink");
+    }
+  }
+}
+
+void ModelChecker::CheckSchema(const gis::GisDimensionSchema& schema,
+                               DiagnosticList* out) const {
+  for (const std::string& name : schema.LayerNames()) {
+    auto graph = schema.GraphOf(name);
+    if (!graph.ok()) {
+      continue;  // LayerNames and GraphOf share the same map.
+    }
+    CheckGraphEdges("layer '" + name + "'", graph.ValueOrDie()->edges(), out);
+  }
+
+  for (const gis::AttributeBinding& b : schema.attributes()) {
+    auto graph = schema.GraphOf(b.layer);
+    if (!graph.ok()) {
+      out->AddError("schema-attr-binding", "attribute '" + b.attribute + "'",
+                    "binds to layer '" + b.layer +
+                        "' which has no graph in the schema");
+      continue;
+    }
+    if (!graph.ValueOrDie()->HasNode(b.kind)) {
+      out->AddError("schema-attr-binding", "attribute '" + b.attribute + "'",
+                    "binds to kind '" + KindName(b.kind) +
+                        "' absent from layer '" + b.layer + "'");
+    }
+  }
+
+  for (const olap::DimensionSchema& d : schema.application_dimensions()) {
+    Status status = d.Validate();
+    if (!status.ok()) {
+      out->AddError("schema-dim-consistent",
+                    "application dimension '" + d.name() + "'",
+                    status.message());
+    }
+  }
+}
+
+void ModelChecker::CheckInstance(const gis::GisDimensionInstance& instance,
+                                 DiagnosticList* out) const {
+  CheckSchema(instance.schema(), out);
+
+  for (const std::string& name : instance.schema().LayerNames()) {
+    if (!instance.GetLayer(name).ok()) {
+      out->AddError("instance-layer-missing", "layer '" + name + "'",
+                    "declared in the schema but has no registered layer "
+                    "instance");
+    }
+  }
+
+  // Def. 2: stored rollup relations are consistent functions, total on the
+  // fine level, referencing live elements.
+  for (const gis::StoredRollup& rollup : instance.StoredRollups()) {
+    std::string entity = "rollup " + KindName(rollup.fine) + "->" +
+                         KindName(rollup.coarse) + " of layer '" +
+                         rollup.layer + "'";
+    std::map<GeometryId, std::set<GeometryId>> images;
+    for (const auto& [fine_id, coarse_id] : *rollup.pairs) {
+      images[fine_id].insert(coarse_id);
+    }
+    for (const auto& [fine_id, coarse_ids] : images) {
+      if (coarse_ids.size() > 1) {
+        out->AddError("rollup-functional", entity,
+                      "fine element " + std::to_string(fine_id) +
+                          " rolls up to " + std::to_string(coarse_ids.size()) +
+                          " coarse elements; Def. 2 requires a function");
+      }
+    }
+
+    auto layer = instance.GetLayer(rollup.layer);
+    if (!layer.ok()) {
+      continue;  // Reported as instance-layer-missing above.
+    }
+    const Layer& l = *layer.ValueOrDie();
+    // Element existence is only decidable against kinds the layer stores.
+    if (l.kind() == rollup.fine) {
+      for (GeometryId id : l.ids()) {
+        if (images.count(id) == 0) {
+          out->AddError("rollup-total", entity,
+                        "fine element " + std::to_string(id) +
+                            " has no rollup; Def. 2 requires totality");
+        }
+      }
+      for (const auto& [fine_id, coarse_ids] : images) {
+        if (!l.BoundsOf(fine_id).ok()) {
+          out->AddError("rollup-dangling", entity,
+                        "fine element " + std::to_string(fine_id) +
+                            " does not exist in layer '" + rollup.layer + "'");
+        }
+      }
+    }
+    if (l.kind() == rollup.coarse) {
+      std::set<GeometryId> coarse_seen;
+      for (const auto& [fine_id, coarse_id] : *rollup.pairs) {
+        if (coarse_seen.insert(coarse_id).second &&
+            !l.BoundsOf(coarse_id).ok()) {
+          out->AddError("rollup-dangling", entity,
+                        "coarse element " + std::to_string(coarse_id) +
+                            " does not exist in layer '" + rollup.layer +
+                            "'");
+        }
+      }
+    }
+  }
+
+  // α bindings reference live geometries.
+  for (const gis::AttributeBinding& b : instance.schema().attributes()) {
+    auto members = instance.AlphaMembers(b.attribute);
+    if (!members.ok()) {
+      continue;  // No bindings registered for this attribute.
+    }
+    auto layer = instance.GetLayer(b.layer);
+    if (!layer.ok()) {
+      continue;
+    }
+    for (const Value& member : members.ValueOrDie()) {
+      auto geom = instance.Alpha(b.attribute, member);
+      if (geom.ok() && !layer.ValueOrDie()->BoundsOf(geom.ValueOrDie()).ok()) {
+        out->AddError("alpha-dangling", "attribute '" + b.attribute + "'",
+                      "member " + member.ToString() +
+                          " binds to missing geometry " +
+                          std::to_string(geom.ValueOrDie()) + " of layer '" +
+                          b.layer + "'");
+      }
+    }
+  }
+
+  for (const olap::DimensionSchema& d :
+       instance.schema().application_dimensions()) {
+    auto inst = instance.ApplicationInstance(d.name());
+    if (!inst.ok()) {
+      continue;  // Declaring a schema without an instance is legal.
+    }
+    Status status = inst.ValueOrDie()->CheckConsistency();
+    if (!status.ok()) {
+      out->AddError("schema-dim-consistent",
+                    "application instance '" + d.name() + "'",
+                    status.message());
+    }
+  }
+}
+
+void ModelChecker::CheckSamples(const std::string& entity,
+                                const std::vector<moving::Sample>& samples,
+                                DiagnosticList* out) const {
+  std::map<moving::ObjectId, temporal::TimePoint> last_t;
+  for (const moving::Sample& s : samples) {
+    std::string sample_entity =
+        entity + " oid " + std::to_string(s.oid) + " t=" +
+        std::to_string(s.t.seconds);
+    if (!std::isfinite(s.t.seconds) || !IsFinite(s.pos)) {
+      out->AddError("moft-finite-coords", sample_entity,
+                    "non-finite timestamp or position " +
+                        FormatPoint(s.pos));
+    }
+    auto it = last_t.find(s.oid);
+    if (it != last_t.end()) {
+      if (s.t == it->second) {
+        out->AddError("moft-duplicate-sample", sample_entity,
+                      "duplicate (Oid, t) observation; an object is at one "
+                      "place at a time");
+        continue;  // Keep the previous timestamp as the reference.
+      }
+      if (s.t < it->second) {
+        out->AddError("moft-time-monotonic", sample_entity,
+                      "timestamps must be strictly increasing per Oid for "
+                      "LIT(S) to be well-defined");
+        continue;
+      }
+    }
+    last_t[s.oid] = s.t;
+  }
+}
+
+void ModelChecker::CheckMoft(const std::string& name,
+                             const moving::Moft& moft,
+                             DiagnosticList* out) const {
+  std::string entity = "moft '" + name + "'";
+  CheckSamples(entity, moft.AllSamples(), out);
+  for (moving::ObjectId oid : moft.ObjectIds()) {
+    std::vector<moving::TimedPoint> points;
+    const std::vector<moving::Sample>& samples = moft.SamplesOf(oid);
+    points.reserve(samples.size());
+    for (const moving::Sample& s : samples) {
+      points.push_back({s.t, s.pos});
+    }
+    CheckTrajectory(entity + " oid " + std::to_string(oid), points, out);
+  }
+}
+
+void ModelChecker::CheckTrajectory(
+    const std::string& entity, const std::vector<moving::TimedPoint>& points,
+    DiagnosticList* out) const {
+  for (const moving::TimedPoint& p : points) {
+    if (!std::isfinite(p.t.seconds) || !IsFinite(p.pos)) {
+      out->AddError("moft-finite-coords", entity,
+                    "non-finite timestamp or position " + FormatPoint(p.pos));
+      return;  // Leg arithmetic below would be meaningless.
+    }
+  }
+  for (size_t i = 1; i < points.size(); ++i) {
+    const moving::TimedPoint& a = points[i - 1];
+    const moving::TimedPoint& b = points[i];
+    double dt = b.t.seconds - a.t.seconds;
+    double dist = std::hypot(b.pos.x - a.pos.x, b.pos.y - a.pos.y);
+    if (dt < 0.0) {
+      out->AddError("traj-continuity", entity,
+                    "negative elapsed time between consecutive points (t=" +
+                        std::to_string(a.t.seconds) + " -> t=" +
+                        std::to_string(b.t.seconds) + ")");
+      continue;
+    }
+    if (dt == 0.0) {
+      if (dist > 0.0) {
+        out->AddError("traj-continuity", entity,
+                      "zero elapsed time with a position jump at t=" +
+                          std::to_string(a.t.seconds) +
+                          "; LIT(S) is not a function of time");
+      }
+      continue;
+    }
+    if (options_.max_speed > 0.0 && dist / dt > options_.max_speed) {
+      out->AddWarning("traj-speed-bound", entity,
+                      "leg at t=" + std::to_string(a.t.seconds) +
+                          " implies speed " + std::to_string(dist / dt) +
+                          " > bound " + std::to_string(options_.max_speed));
+    }
+  }
+}
+
+void ModelChecker::CheckOverlayCells(const std::string& entity,
+                                     const std::vector<geometry::Polygon>& cells,
+                                     double expected_area,
+                                     DiagnosticList* out) const {
+  double total = 0.0;
+  for (const geometry::Polygon& cell : cells) {
+    total += cell.Area();
+  }
+
+  for (size_t i = 0; i < cells.size(); ++i) {
+    for (size_t j = i + 1; j < cells.size(); ++j) {
+      if (!cells[i].Bounds().Intersects(cells[j].Bounds())) {
+        continue;
+      }
+      if (!cells[i].IsConvex() || !cells[j].IsConvex()) {
+        continue;  // Exact interior-overlap area needs convex operands.
+      }
+      double overlap = geometry::ConvexIntersectionArea(cells[i], cells[j]);
+      double tolerance = options_.area_epsilon *
+                         std::max(1.0, std::min(cells[i].Area(),
+                                                cells[j].Area()));
+      if (overlap > tolerance) {
+        out->AddError("overlay-partition",
+                      entity + " cells " + std::to_string(i) + "/" +
+                          std::to_string(j),
+                      "cell interiors overlap (area " +
+                          std::to_string(overlap) +
+                          "); Sec. 5 requires the overlay to partition the "
+                          "plane");
+      }
+    }
+  }
+
+  if (expected_area >= 0.0) {
+    double tolerance = options_.area_epsilon * std::max(1.0, expected_area);
+    if (std::abs(total - expected_area) > tolerance) {
+      out->AddError("overlay-area-conservation", entity,
+                    "cell areas sum to " + std::to_string(total) +
+                        " but the covered domain has area " +
+                        std::to_string(expected_area));
+    }
+  }
+}
+
+void ModelChecker::CheckOverlay(const gis::OverlayDb& overlay,
+                                DiagnosticList* out) const {
+  std::string entity =
+      overlay.is_convex_exact() ? "convex overlay" : "quadtree overlay";
+  std::vector<geometry::Polygon> cells;
+  cells.reserve(overlay.num_cells());
+  for (size_t i = 0; i < overlay.num_cells(); ++i) {
+    cells.push_back(overlay.CellPolygon(i));
+  }
+
+  if (overlay.is_convex_exact()) {
+    CheckOverlayCells(entity, cells, /*expected_area=*/-1.0, out);
+    // Area conservation per covering label: the cells a polygon covers must
+    // tile exactly that polygon.
+    std::map<gis::OverlayLabel, double> covered_area;
+    for (size_t i = 0; i < overlay.num_cells(); ++i) {
+      for (const gis::OverlayLabel& label : overlay.CellCovered(i)) {
+        covered_area[label] += cells[i].Area();
+      }
+    }
+    for (const auto& [label, area] : covered_area) {
+      if (label.layer >= overlay.layers().size()) {
+        continue;
+      }
+      auto pg = overlay.layers()[label.layer]->GetPolygon(label.geom);
+      if (!pg.ok()) {
+        continue;
+      }
+      double expected = pg.ValueOrDie()->Area();
+      double tolerance = options_.area_epsilon * std::max(1.0, expected);
+      if (std::abs(area - expected) > tolerance) {
+        out->AddError(
+            "overlay-area-conservation",
+            entity + " layer " + std::to_string(label.layer) + " geometry " +
+                std::to_string(label.geom),
+            "covering cells sum to area " + std::to_string(area) +
+                " but the polygon has area " + std::to_string(expected));
+      }
+    }
+  } else {
+    // Quadtree leaves tile the domain box exactly.
+    geometry::BoundingBox domain;
+    for (const geometry::Polygon& cell : cells) {
+      domain.ExtendWith(cell.Bounds());
+    }
+    double expected =
+        domain.empty() ? 0.0
+                       : (domain.max_x - domain.min_x) *
+                             (domain.max_y - domain.min_y);
+    CheckOverlayCells(entity, cells, expected, out);
+  }
+}
+
+void ModelChecker::CheckGisFactTable(const std::string& name,
+                                     const gis::GisFactTable& table,
+                                     DiagnosticList* out) const {
+  for (GeometryId id : table.layer().ids()) {
+    if (!table.Get(id).ok()) {
+      out->AddError("fact-table-total",
+                    "fact table '" + name + "' layer '" +
+                        table.layer().name() + "'",
+                    "element " + std::to_string(id) +
+                        " carries no fact; Def. 3 fact tables are total "
+                        "functions");
+    }
+  }
+}
+
+DiagnosticList ModelChecker::CheckAll(const DatabaseView& view) const {
+  DiagnosticList out;
+  if (view.gis != nullptr) {
+    CheckInstance(*view.gis, &out);
+  }
+  for (const auto& [name, moft] : view.mofts) {
+    if (moft != nullptr) {
+      CheckMoft(name, *moft, &out);
+    }
+  }
+  if (view.overlay != nullptr) {
+    CheckOverlay(*view.overlay, &out);
+  }
+  return out;
+}
+
+}  // namespace piet::analysis

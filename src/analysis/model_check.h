@@ -1,0 +1,134 @@
+#ifndef PIET_ANALYSIS_MODEL_CHECK_H_
+#define PIET_ANALYSIS_MODEL_CHECK_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "geometry/polygon.h"
+#include "gis/fact_table.h"
+#include "gis/instance.h"
+#include "gis/overlay.h"
+#include "gis/schema.h"
+#include "moving/moft.h"
+#include "moving/trajectory.h"
+
+namespace piet::analysis {
+
+/// Tunables of the model checker.
+struct ModelCheckOptions {
+  /// Maximum plausible object speed (distance units per second) for the
+  /// `traj-speed-bound` sanity check; <= 0 disables the check.
+  double max_speed = 0.0;
+
+  /// Relative tolerance for the overlay area-conservation check.
+  double area_epsilon = 1e-6;
+};
+
+/// A borrowed, non-owning view of the pieces of a GeoOlapDatabase the model
+/// checker validates. Kept decoupled from core so the analysis library stays
+/// below core in the dependency order (core wires the checker into its load
+/// paths and evaluator).
+struct DatabaseView {
+  const gis::GisDimensionInstance* gis = nullptr;
+  std::vector<std::pair<std::string, const moving::Moft*>> mofts;
+  const gis::OverlayDb* overlay = nullptr;  ///< Optional.
+};
+
+/// Validates that a database instance satisfies the paper's well-formedness
+/// preconditions — the static-analysis half that makes aggregation
+/// trustworthy. Check-ID catalog (stable, kebab-case; see DESIGN.md):
+///
+///   schema-graph-acyclic      H(L) has a cycle (Def. 1 requires a DAG)
+///   schema-graph-source       `point` is not the unique source of H(L)
+///   schema-graph-sink         `All` is not the unique sink of H(L)
+///   schema-attr-binding       Att(A) names a kind/layer absent from H
+///   schema-dim-consistent     application dimension schema/instance broken
+///   rollup-functional         r^{Gj,Gk}_L maps a fine id to several coarse
+///   rollup-total              r^{Gj,Gk}_L misses an element of the fine level
+///   rollup-dangling           r^{Gj,Gk}_L references an id absent from L
+///   alpha-dangling            an α binding references a missing geometry
+///   fact-table-total          a layer element carries no fact (Def. 3)
+///   moft-time-monotonic       per-Oid timestamps not strictly increasing
+///   moft-duplicate-sample     duplicate (Oid, t) observation
+///   moft-finite-coords        NaN/infinite coordinate or timestamp
+///   traj-continuity           LIT(S) undefined: non-increasing leg times
+///   traj-speed-bound          a leg exceeds options.max_speed
+///   overlay-partition         two overlay cells overlap in their interiors
+///   overlay-area-conservation cell areas do not sum to the covered area
+class ModelChecker {
+ public:
+  explicit ModelChecker(ModelCheckOptions options = {})
+      : options_(options) {}
+
+  const ModelCheckOptions& options() const { return options_; }
+
+  /// Def. 1 checks over one geometry-granularity graph, given as its raw
+  /// edge relation (the primitive the schema checks reduce to; public so
+  /// corrupted edge relations can be checked directly).
+  void CheckGraphEdges(
+      const std::string& entity,
+      const std::vector<std::pair<gis::GeometryKind, gis::GeometryKind>>&
+          edges,
+      DiagnosticList* out) const;
+
+  /// Def. 1: every layer graph is a DAG with point/All as unique
+  /// source/sink, attribute bindings resolve, application dimension schemas
+  /// validate.
+  void CheckSchema(const gis::GisDimensionSchema& schema,
+                   DiagnosticList* out) const;
+
+  /// Def. 2: schema checks plus stored rollup relations total + functional,
+  /// rollup/α references resolving against their layers, application
+  /// dimension instances consistent.
+  void CheckInstance(const gis::GisDimensionInstance& instance,
+                     DiagnosticList* out) const;
+
+  /// Sec. 4 checks over a raw observation stream: strictly increasing
+  /// timestamps per Oid, no duplicate (Oid, t), finite coordinates. The
+  /// stream need not be grouped; per-Oid order is checked in stream order
+  /// within each Oid.
+  void CheckSamples(const std::string& entity,
+                    const std::vector<moving::Sample>& samples,
+                    DiagnosticList* out) const;
+
+  /// CheckSamples over a registered MOFT plus per-object trajectory checks.
+  void CheckMoft(const std::string& name, const moving::Moft& moft,
+                 DiagnosticList* out) const;
+
+  /// LIT(S) well-definedness over raw timed points: strictly increasing
+  /// times (non-negative elapsed), finite positions, optional speed bound.
+  void CheckTrajectory(const std::string& entity,
+                       const std::vector<moving::TimedPoint>& points,
+                       DiagnosticList* out) const;
+
+  /// Sec. 5 partition checks over raw cells: pairwise interior-disjoint
+  /// (convex cells only; non-convex pairs are skipped), and — when
+  /// `expected_area` >= 0 — conservation of total area within
+  /// options.area_epsilon (relative).
+  void CheckOverlayCells(const std::string& entity,
+                         const std::vector<geometry::Polygon>& cells,
+                         double expected_area, DiagnosticList* out) const;
+
+  /// Partition checks over a built overlay: cells pairwise
+  /// interior-disjoint; in quadtree mode the leaves must tile the domain
+  /// box, in convex mode each covering label's cells must sum to its
+  /// polygon's area.
+  void CheckOverlay(const gis::OverlayDb& overlay, DiagnosticList* out) const;
+
+  /// Def. 3 totality: every element of the table's layer carries a fact.
+  void CheckGisFactTable(const std::string& name,
+                         const gis::GisFactTable& table,
+                         DiagnosticList* out) const;
+
+  /// Runs every applicable check over the view.
+  DiagnosticList CheckAll(const DatabaseView& view) const;
+
+ private:
+  ModelCheckOptions options_;
+};
+
+}  // namespace piet::analysis
+
+#endif  // PIET_ANALYSIS_MODEL_CHECK_H_

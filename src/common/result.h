@@ -11,9 +11,10 @@ namespace piet {
 
 /// Holds either a value of type `T` or a non-OK `Status`. The moral
 /// equivalent of `arrow::Result<T>`: used as a return type wherever a
-/// computation can fail with a diagnosable error.
+/// computation can fail with a diagnosable error. Marked [[nodiscard]] so
+/// ignored failures surface at compile time.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value (success). Implicit conversion is intentional so
   /// `return value;` works in functions returning Result<T>.

@@ -29,8 +29,10 @@ enum class StatusCode {
 std::string_view StatusCodeToString(StatusCode code);
 
 /// A cheap, copyable success-or-error value. The OK status carries no
-/// allocation; error statuses carry a code and a message.
-class Status {
+/// allocation; error statuses carry a code and a message. Marked
+/// [[nodiscard]]: silently dropping an error is exactly the bug class the
+/// analysis layer exists to prevent.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

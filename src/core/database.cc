@@ -7,9 +7,36 @@ namespace piet::core {
 GeoOlapDatabase::GeoOlapDatabase(gis::GisDimensionInstance gis_instance)
     : gis_(std::move(gis_instance)) {}
 
+analysis::DatabaseView GeoOlapDatabase::AnalysisView() const {
+  analysis::DatabaseView view;
+  view.gis = &gis_;
+  view.mofts.reserve(mofts_.size());
+  for (const auto& [name, moft] : mofts_) {
+    view.mofts.emplace_back(name, &moft);
+  }
+  view.overlay = overlay_.get();
+  return view;
+}
+
+analysis::DiagnosticList GeoOlapDatabase::CheckAll(
+    analysis::ModelCheckOptions options) const {
+  return analysis::ModelChecker(options).CheckAll(AnalysisView());
+}
+
 Status GeoOlapDatabase::AddMoft(const std::string& name, moving::Moft moft) {
   if (mofts_.count(name)) {
     return Status::AlreadyExists("MOFT '" + name + "' already registered");
+  }
+  if (check_mode_ != analysis::CheckMode::kOff) {
+    analysis::DiagnosticList diagnostics;
+    analysis::ModelChecker(check_options_)
+        .CheckMoft(name, moft, &diagnostics);
+    if (check_mode_ == analysis::CheckMode::kStrict &&
+        diagnostics.HasErrors()) {
+      return diagnostics.ToStatus();
+    }
+    diagnostics.DowngradeErrorsToWarnings();
+    last_load_diagnostics_ = std::move(diagnostics);
   }
   mofts_.emplace(name, std::move(moft));
   return Status::OK();
@@ -72,6 +99,19 @@ Status GeoOlapDatabase::BuildOverlay(
     overlay_ = std::make_unique<gis::OverlayDb>(std::move(db));
   }
   overlay_layers_ = layer_names;
+  if (check_mode_ != analysis::CheckMode::kOff) {
+    analysis::DiagnosticList diagnostics;
+    analysis::ModelChecker(check_options_)
+        .CheckOverlay(*overlay_, &diagnostics);
+    if (check_mode_ == analysis::CheckMode::kStrict &&
+        diagnostics.HasErrors()) {
+      overlay_.reset();
+      overlay_layers_.clear();
+      return diagnostics.ToStatus();
+    }
+    diagnostics.DowngradeErrorsToWarnings();
+    last_load_diagnostics_ = std::move(diagnostics);
+  }
   return Status::OK();
 }
 

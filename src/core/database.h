@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.h"
+#include "analysis/model_check.h"
 #include "common/result.h"
 #include "gis/instance.h"
 #include "gis/overlay.h"
@@ -27,6 +29,29 @@ class GeoOlapDatabase {
   gis::GisDimensionInstance& mutable_gis() { return gis_; }
 
   const temporal::TimeDimension& time_dimension() const { return time_dim_; }
+
+  /// How load paths (AddMoft, BuildOverlay) run the model checker: kOff
+  /// (default) skips checks entirely, kWarn records findings in
+  /// last_load_diagnostics(), kStrict rejects the load on any error.
+  void set_check_mode(analysis::CheckMode mode,
+                      analysis::ModelCheckOptions options = {}) {
+    check_mode_ = mode;
+    check_options_ = options;
+  }
+  analysis::CheckMode check_mode() const { return check_mode_; }
+
+  /// Findings of the most recent checked load operation (kWarn mode).
+  const analysis::DiagnosticList& last_load_diagnostics() const {
+    return last_load_diagnostics_;
+  }
+
+  /// A borrowed view of this database for the model checker.
+  analysis::DatabaseView AnalysisView() const;
+
+  /// Runs every model check (Defs. 1-3, Sec. 4 MOFTs, Sec. 5 overlay) over
+  /// the current contents.
+  analysis::DiagnosticList CheckAll(
+      analysis::ModelCheckOptions options = {}) const;
 
   /// Registers a MOFT under a name (e.g. "FMbus").
   Status AddMoft(const std::string& name, moving::Moft moft);
@@ -56,6 +81,9 @@ class GeoOlapDatabase {
   std::map<std::string, olap::FactTable> fact_tables_;
   std::unique_ptr<gis::OverlayDb> overlay_;
   std::vector<std::string> overlay_layers_;
+  analysis::CheckMode check_mode_ = analysis::CheckMode::kOff;
+  analysis::ModelCheckOptions check_options_;
+  analysis::DiagnosticList last_load_diagnostics_;
 };
 
 }  // namespace piet::core

@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/query_check.h"
 #include "core/pietql/parser.h"
 #include "core/region.h"
 #include "geometry/segment_polygon.h"
@@ -216,6 +217,19 @@ Result<std::vector<GeometryId>> Evaluator::EvaluateGeoPart(
 
 Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
   QueryResult result;
+  if (check_mode_ != analysis::CheckMode::kOff) {
+    analysis::QueryContext context;
+    context.gis = &db_->gis();
+    context.moft_names = db_->MoftNames();
+    analysis::DiagnosticList diagnostics =
+        analysis::AnalyzeQuery(context, query);
+    if (check_mode_ == analysis::CheckMode::kStrict &&
+        diagnostics.HasErrors()) {
+      return diagnostics.ToStatus();
+    }
+    diagnostics.DowngradeErrorsToWarnings();
+    result.diagnostics = std::move(diagnostics);
+  }
   result.result_layer = query.geo.select.front().name;
   PIET_ASSIGN_OR_RETURN(result.geometry_ids, EvaluateGeoPart(query.geo));
   if (!query.mo) {

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/diagnostic.h"
 #include "common/result.h"
 #include "core/database.h"
 #include "core/pietql/ast.h"
@@ -15,12 +16,14 @@ namespace piet::core::pietql {
 
 /// The result of evaluating a Piet-QL query: the geometric part's
 /// qualifying ids (of the result layer), plus — when a moving-object part
-/// is present — either a scalar aggregate or a grouped table.
+/// is present — either a scalar aggregate or a grouped table. In kWarn
+/// check mode, semantic-analysis findings ride along in `diagnostics`.
 struct QueryResult {
   std::string result_layer;
   std::vector<gis::GeometryId> geometry_ids;
   std::optional<Value> scalar;
   std::optional<olap::FactTable> table;
+  analysis::DiagnosticList diagnostics;
 
   std::string ToString() const;
 };
@@ -29,10 +32,22 @@ struct QueryResult {
 /// Sec. 5 pipeline: the geometric part resolves to geometry identifiers,
 /// which feed the moving-object part (trajectory-segment intersection
 /// against the qualifying geometries).
+///
+/// With a check mode other than kOff, the Piet-QL semantic analyzer
+/// (analysis::AnalyzeQuery) runs over the AST before evaluation: kStrict
+/// rejects ill-formed queries with a diagnostic naming the offending
+/// clause; kWarn downgrades the findings to warnings on the result. kOff
+/// (the default) keeps evaluation byte-identical to the unchecked path.
 class Evaluator {
  public:
   /// `db` must outlive the evaluator.
-  explicit Evaluator(const GeoOlapDatabase* db) : db_(db) {}
+  explicit Evaluator(const GeoOlapDatabase* db,
+                     analysis::CheckMode check_mode =
+                         analysis::CheckMode::kOff)
+      : db_(db), check_mode_(check_mode) {}
+
+  void set_check_mode(analysis::CheckMode mode) { check_mode_ = mode; }
+  analysis::CheckMode check_mode() const { return check_mode_; }
 
   Result<QueryResult> Evaluate(const Query& query) const;
 
@@ -49,6 +64,7 @@ class Evaluator {
                                const gis::Layer& b, gis::GeometryId idb) const;
 
   const GeoOlapDatabase* db_;
+  analysis::CheckMode check_mode_ = analysis::CheckMode::kOff;
 };
 
 }  // namespace piet::core::pietql

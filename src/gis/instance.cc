@@ -96,6 +96,28 @@ Result<std::vector<GeometryId>> GisDimensionInstance::GeometryRollup(
   return out;
 }
 
+std::vector<StoredRollup> GisDimensionInstance::StoredRollups() const {
+  std::vector<StoredRollup> out;
+  out.reserve(rollups_.size());
+  for (const auto& [key, pairs] : rollups_) {
+    // Keys are built by RollupKey as layer \x1f fine \x1f coarse.
+    size_t first = key.find('\x1f');
+    size_t second = key.find('\x1f', first + 1);
+    if (first == std::string::npos || second == std::string::npos) {
+      continue;
+    }
+    auto fine = GeometryKindFromString(key.substr(first + 1,
+                                                  second - first - 1));
+    auto coarse = GeometryKindFromString(key.substr(second + 1));
+    if (!fine.ok() || !coarse.ok()) {
+      continue;
+    }
+    out.push_back(StoredRollup{key.substr(0, first), fine.ValueOrDie(),
+                               coarse.ValueOrDie(), &pairs});
+  }
+  return out;
+}
+
 Result<std::vector<GeometryId>> GisDimensionInstance::GeometryMembers(
     const std::string& layer, GeometryKind fine, GeometryKind coarse,
     GeometryId coarse_id) const {

@@ -13,6 +13,15 @@
 
 namespace piet::gis {
 
+/// One stored rollup relation r^{Gj,Gk}_L, exposed for the model checker
+/// (src/analysis): the edge it follows and the raw (fine, coarse) id pairs.
+struct StoredRollup {
+  std::string layer;
+  GeometryKind fine = GeometryKind::kPoint;
+  GeometryKind coarse = GeometryKind::kAll;
+  const std::vector<std::pair<GeometryId, GeometryId>>* pairs = nullptr;
+};
+
 /// The GIS dimension instance of Def. 2: concrete layers (the geometric
 /// part), stored rollup relations r^{Gj,Gk}_L between finite geometry
 /// levels, the α functions binding application members to geometries, and
@@ -45,6 +54,10 @@ class GisDimensionInstance {
                                                  GeometryKind fine,
                                                  GeometryId fine_id,
                                                  GeometryKind coarse) const;
+
+  /// Every stored rollup relation, for well-formedness checking. The
+  /// returned pair pointers borrow from this instance.
+  std::vector<StoredRollup> StoredRollups() const;
 
   /// All fine ids composing `coarse_id` (inverse relation).
   Result<std::vector<GeometryId>> GeometryMembers(const std::string& layer,

@@ -81,6 +81,21 @@ class OverlayDb {
   /// Total time spent is dominated by construction; expose the strategy.
   bool is_convex_exact() const { return convex_exact_; }
 
+  /// The layer list the overlay was built over (index = OverlayLabel.layer).
+  const std::vector<const Layer*>& layers() const { return layers_; }
+
+  /// Read access to one cell's geometry and labels, for the partition
+  /// checks of src/analysis (and for debugging/visualization).
+  const geometry::Polygon& CellPolygon(size_t i) const {
+    return cells_[i].polygon;
+  }
+  const std::vector<OverlayLabel>& CellCovered(size_t i) const {
+    return cells_[i].covered;
+  }
+  const std::vector<OverlayLabel>& CellCandidates(size_t i) const {
+    return cells_[i].candidates;
+  }
+
  private:
   /// A subpolygon: cell geometry plus covering labels. In quadtree mode the
   /// cell is a rectangle and `candidates` holds the boundary-crossing
