@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "core/engine.h"
 #include "workload/city.h"
@@ -104,6 +105,7 @@ void ShapeReport() {
 
 void BM_OverlayBuildConvex(benchmark::State& state) {
   int grid = static_cast<int>(state.range(0));
+  int threads = static_cast<int>(state.range(1));
   auto city = MakeCity(grid, 1, false);
   for (auto _ : state) {
     piet::core::GeoOlapDatabase db(
@@ -115,31 +117,39 @@ void BM_OverlayBuildConvex(benchmark::State& state) {
                    }())
                        .ValueOrDie()
                        .db));
+    db.set_num_threads(threads);
     auto status = db.BuildOverlay({"neighborhoods"}, true);
     benchmark::DoNotOptimize(status.ok());
   }
   state.counters["polygons"] = grid * grid;
+  state.counters["threads"] = threads;
 }
 
 void BM_OverlayBuildQuadtree(benchmark::State& state) {
   int grid = static_cast<int>(state.range(0));
+  int threads = static_cast<int>(state.range(1));
   for (auto _ : state) {
     CityConfig c;
     c.grid_cols = grid;
     c.grid_rows = grid;
     c.nonconvex_fraction = 0.5;
     auto city = piet::workload::GenerateCity(c).ValueOrDie();
+    city.db->set_num_threads(threads);
     auto status = city.db->BuildOverlay({"neighborhoods"}, false, 8);
     benchmark::DoNotOptimize(status.ok());
   }
   state.counters["polygons"] = grid * grid;
+  state.counters["threads"] = threads;
 }
 
 void BM_QueryPerStrategy(benchmark::State& state) {
   int grid = static_cast<int>(state.range(0));
   Strategy strategy = static_cast<Strategy>(state.range(1));
+  int threads = static_cast<int>(state.range(2));
   auto city = MakeCity(grid, 100, true);
+  city->db->set_num_threads(threads);
   QueryEngine engine(city->db.get());
+  engine.set_num_threads(threads);
   GeometryPredicate low = GeometryPredicate::AttributeLess("income", 1500.0);
   for (auto _ : state) {
     auto r = engine.SampleRegion("cars", city->neighborhoods_layer, low,
@@ -147,9 +157,31 @@ void BM_QueryPerStrategy(benchmark::State& state) {
     benchmark::DoNotOptimize(r.ValueOrDie().num_rows());
   }
   state.counters["polygons"] = grid * grid;
+  state.counters["threads"] = threads;
   state.counters["pt_tests"] =
       static_cast<double>(engine.stats().point_tests);
   state.SetLabel(std::string(StrategyToString(strategy)));
+}
+
+// Batched point location against the overlay: the unit every parallel
+// classification pass fans out, measured serial vs pooled.
+void BM_LocateBatch(benchmark::State& state) {
+  int grid = static_cast<int>(state.range(0));
+  int threads = static_cast<int>(state.range(1));
+  auto city = MakeCity(grid, 200, true);
+  const piet::gis::OverlayDb* ov = city->db->overlay().ValueOrDie();
+  auto samples = city->db->GetMoft("cars").ValueOrDie()->AllSamples();
+  std::vector<piet::geometry::Point> points;
+  points.reserve(samples.size());
+  for (const auto& s : samples) {
+    points.push_back(s.pos);
+  }
+  for (auto _ : state) {
+    auto hits = ov->LocateBatch(points, 0, threads);
+    benchmark::DoNotOptimize(hits.ids.size());
+  }
+  state.counters["points"] = static_cast<double>(points.size());
+  state.counters["threads"] = threads;
 }
 
 }  // namespace
@@ -157,18 +189,24 @@ void BM_QueryPerStrategy(benchmark::State& state) {
 int main(int argc, char** argv) {
   ShapeReport();
   for (int grid : {4, 8, 16, 32}) {
-    benchmark::RegisterBenchmark("BM_OverlayBuildConvex",
-                                 BM_OverlayBuildConvex)
-        ->Arg(grid)
-        ->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark("BM_OverlayBuildQuadtree",
-                                 BM_OverlayBuildQuadtree)
-        ->Arg(grid)
-        ->Unit(benchmark::kMillisecond);
-    for (int s = 0; s < 3; ++s) {
-      benchmark::RegisterBenchmark("BM_QueryPerStrategy", BM_QueryPerStrategy)
-          ->Args({grid, s})
+    for (int threads : {1, 4}) {
+      benchmark::RegisterBenchmark("BM_OverlayBuildConvex",
+                                   BM_OverlayBuildConvex)
+          ->Args({grid, threads})
           ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark("BM_OverlayBuildQuadtree",
+                                   BM_OverlayBuildQuadtree)
+          ->Args({grid, threads})
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark("BM_LocateBatch", BM_LocateBatch)
+          ->Args({grid, threads})
+          ->Unit(benchmark::kMicrosecond);
+      for (int s = 0; s < 3; ++s) {
+        benchmark::RegisterBenchmark("BM_QueryPerStrategy",
+                                     BM_QueryPerStrategy)
+            ->Args({grid, s, threads})
+            ->Unit(benchmark::kMillisecond);
+      }
     }
   }
   benchmark::Initialize(&argc, argv);

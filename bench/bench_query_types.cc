@@ -101,7 +101,10 @@ void BM_Type3_TimeOnly(benchmark::State& state) {
 void BM_Type4_SampleRegion(benchmark::State& state) {
   auto fixture = MakeFixture(static_cast<int>(state.range(1)),
                              static_cast<int>(state.range(0)));
+  int threads = static_cast<int>(state.range(2));
+  fixture->city.db->set_num_threads(threads);
   QueryEngine engine(fixture->city.db.get());
+  engine.set_num_threads(threads);
   GeometryPredicate low = GeometryPredicate::AttributeLess("income", 1500.0);
   for (auto _ : state) {
     auto r = engine.SampleRegion("cars", fixture->city.neighborhoods_layer,
@@ -110,6 +113,7 @@ void BM_Type4_SampleRegion(benchmark::State& state) {
   }
   state.counters["samples"] = static_cast<double>(
       fixture->city.db->GetMoft("cars").ValueOrDie()->num_samples());
+  state.counters["threads"] = threads;
 }
 
 void BM_Type6_Snapshot(benchmark::State& state) {
@@ -126,7 +130,9 @@ void BM_Type6_Snapshot(benchmark::State& state) {
 
 void BM_Type7_TrajectoryRegion(benchmark::State& state) {
   auto fixture = MakeFixture(8, static_cast<int>(state.range(0)));
+  int threads = static_cast<int>(state.range(1));
   QueryEngine engine(fixture->city.db.get());
+  engine.set_num_threads(threads);
   GeometryPredicate low = GeometryPredicate::AttributeLess("income", 1500.0);
   for (auto _ : state) {
     auto r = engine.TrajectoryRegion("cars",
@@ -134,6 +140,7 @@ void BM_Type7_TrajectoryRegion(benchmark::State& state) {
                                      TimePredicate());
     benchmark::DoNotOptimize(r.ValueOrDie().num_rows());
   }
+  state.counters["threads"] = threads;
 }
 
 void BM_Type7_NearNodes(benchmark::State& state) {
@@ -154,26 +161,28 @@ int main(int argc, char** argv) {
     benchmark::RegisterBenchmark("BM_Type3_TimeOnly", BM_Type3_TimeOnly)
         ->Arg(objects)
         ->Unit(benchmark::kMicrosecond);
-    benchmark::RegisterBenchmark("BM_Type4_SampleRegion",
-                                 BM_Type4_SampleRegion)
-        ->Args({objects, 8})
-        ->Unit(benchmark::kMicrosecond);
     benchmark::RegisterBenchmark("BM_Type6_Snapshot", BM_Type6_Snapshot)
         ->Arg(objects)
         ->Unit(benchmark::kMicrosecond);
-    benchmark::RegisterBenchmark("BM_Type7_TrajectoryRegion",
-                                 BM_Type7_TrajectoryRegion)
-        ->Arg(objects)
-        ->Unit(benchmark::kMillisecond);
     benchmark::RegisterBenchmark("BM_Type7_NearNodes", BM_Type7_NearNodes)
         ->Arg(objects)
         ->Unit(benchmark::kMillisecond);
+    for (int threads : {1, 4}) {
+      benchmark::RegisterBenchmark("BM_Type4_SampleRegion",
+                                   BM_Type4_SampleRegion)
+          ->Args({objects, 8, threads})
+          ->Unit(benchmark::kMicrosecond);
+      benchmark::RegisterBenchmark("BM_Type7_TrajectoryRegion",
+                                   BM_Type7_TrajectoryRegion)
+          ->Args({objects, threads})
+          ->Unit(benchmark::kMillisecond);
+    }
   }
   // Neighborhood-count sweep at fixed fleet.
   for (int grid : {4, 8, 16, 32}) {
     benchmark::RegisterBenchmark("BM_Type4_SampleRegion/grid",
                                  BM_Type4_SampleRegion)
-        ->Args({200, grid})
+        ->Args({200, grid, 1})
         ->Unit(benchmark::kMicrosecond);
   }
   benchmark::Initialize(&argc, argv);

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs the E2/E3 benchmark suites (Release build) and writes JSON baselines
+# at the repo root: BENCH_overlay.json and BENCH_query_types.json. The
+# benches sweep a `threads` axis (1 vs 4 via Engine/Database num_threads),
+# so the baselines carry the serial-vs-parallel comparison; counters record
+# problem size (polygons, samples, points) alongside.
+#
+# Usage: scripts/bench.sh [extra benchmark args...]
+#   BUILD_DIR=...  build directory (default build-bench, Release)
+#   FILTER=regex   forwarded as --benchmark_filter
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-bench}"
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== configure (${BUILD_DIR}, Release) =="
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+
+echo "== build benches =="
+cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+  --target bench_overlay bench_query_types
+
+extra_args=()
+if [[ -n "${FILTER:-}" ]]; then
+  extra_args+=("--benchmark_filter=${FILTER}")
+fi
+
+# --benchmark_out keeps the JSON clean: the shape reports print to stdout,
+# the machine-readable baseline goes to the file.
+echo "== bench_overlay -> BENCH_overlay.json =="
+"${BUILD_DIR}/bench/bench_overlay" \
+  --benchmark_out=BENCH_overlay.json \
+  --benchmark_out_format=json \
+  --benchmark_format=console \
+  "${extra_args[@]}" "$@"
+
+echo "== bench_query_types -> BENCH_query_types.json =="
+"${BUILD_DIR}/bench/bench_query_types" \
+  --benchmark_out=BENCH_query_types.json \
+  --benchmark_out_format=json \
+  --benchmark_format=console \
+  "${extra_args[@]}" "$@"
+
+echo "== baselines written: BENCH_overlay.json BENCH_query_types.json =="

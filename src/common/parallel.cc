@@ -1,0 +1,152 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace piet::parallel {
+
+int DefaultThreads() {
+  static const int cached = [] {
+    const char* env = std::getenv("PIET_THREADS");
+    if (env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      long parsed = std::strtol(env, &end, 10);
+      if (end != nullptr && *end == '\0' && parsed >= 1) {
+        return static_cast<int>(
+            std::min<long>(parsed, static_cast<long>(kMaxChunks)));
+      }
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) {
+      return 1;
+    }
+    return static_cast<int>(std::min<unsigned>(hw, kMaxChunks));
+  }();
+  return cached;
+}
+
+int ResolveThreads(int requested) {
+  if (requested > 0) {
+    return std::min(requested, static_cast<int>(kMaxChunks));
+  }
+  return DefaultThreads();
+}
+
+ChunkPlan PlanChunks(size_t n) {
+  ChunkPlan plan;
+  plan.n = n;
+  plan.num_chunks = std::min(n, kMaxChunks);
+  return plan;
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::EnsureWorkers(size_t want) {
+  want = std::min(want, kMaxChunks);
+  std::lock_guard<std::mutex> lock(mu_);
+  while (workers_.size() < want && !stop_) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) {
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Run(int threads, const ChunkPlan& plan,
+                     const std::function<void(size_t, size_t, size_t)>& body) {
+  // Per-call job state shared by the caller and helper tasks. Helpers claim
+  // chunk indices from `next`; `done` counts completed chunks so the caller
+  // can block until helpers finish chunks they claimed before the caller
+  // drained the counter.
+  struct Job {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto job = std::make_shared<Job>();
+
+  auto drain = [job, plan, body] {
+    for (;;) {
+      size_t chunk = job->next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= plan.num_chunks) {
+        return;
+      }
+      auto [begin, end] = plan.Chunk(chunk);
+      body(chunk, begin, end);
+      if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          plan.num_chunks) {
+        std::lock_guard<std::mutex> lock(job->mu);
+        job->cv.notify_all();
+      }
+    }
+  };
+
+  size_t helpers =
+      std::min<size_t>(static_cast<size_t>(threads), plan.num_chunks) - 1;
+  EnsureWorkers(helpers);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < helpers; ++i) {
+      tasks_.emplace_back(drain);
+    }
+  }
+  if (helpers == 1) {
+    cv_.notify_one();
+  } else if (helpers > 1) {
+    cv_.notify_all();
+  }
+
+  drain();  // The caller participates.
+  std::unique_lock<std::mutex> lock(job->mu);
+  job->cv.wait(lock, [&] {
+    return job->done.load(std::memory_order_acquire) == plan.num_chunks;
+  });
+}
+
+void ParallelFor(int threads, size_t n,
+                 const std::function<void(size_t, size_t, size_t)>& body) {
+  ChunkPlan plan = PlanChunks(n);
+  if (plan.num_chunks == 0) {
+    return;
+  }
+  if (threads <= 1 || plan.num_chunks == 1) {
+    // The serial code path: chunks run inline, in order, on this thread.
+    for (size_t chunk = 0; chunk < plan.num_chunks; ++chunk) {
+      auto [begin, end] = plan.Chunk(chunk);
+      body(chunk, begin, end);
+    }
+    return;
+  }
+  ThreadPool::Global().Run(threads, plan, body);
+}
+
+}  // namespace piet::parallel

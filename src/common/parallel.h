@@ -1,0 +1,119 @@
+#ifndef PIET_COMMON_PARALLEL_H_
+#define PIET_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace piet::parallel {
+
+/// Upper bound on chunks per ParallelFor plan (and on pool workers). Small
+/// enough that per-chunk scratch buffers stay cheap, large enough to load
+/// any machine this project targets.
+inline constexpr size_t kMaxChunks = 64;
+
+/// Worker count from the PIET_THREADS environment variable (clamped to
+/// [1, kMaxChunks]); std::thread::hardware_concurrency() when unset or
+/// unparsable. Read once and cached for the process lifetime.
+int DefaultThreads();
+
+/// `requested` > 0 wins; otherwise DefaultThreads(). This is the resolution
+/// rule every `num_threads`/`threads` knob in the codebase goes through.
+int ResolveThreads(int requested);
+
+/// A deterministic partition of [0, n) into at most kMaxChunks contiguous
+/// chunks. Chunk boundaries depend ONLY on `n` — never on the thread count
+/// — which is what makes ordered per-chunk reduction bit-identical to
+/// serial execution however many workers ran.
+struct ChunkPlan {
+  size_t n = 0;
+  size_t num_chunks = 0;
+
+  /// Half-open range of chunk `i` (chunks differ in size by at most 1).
+  std::pair<size_t, size_t> Chunk(size_t i) const {
+    size_t base = n / num_chunks;
+    size_t rem = n % num_chunks;
+    size_t begin = i * base + (i < rem ? i : rem);
+    size_t end = begin + base + (i < rem ? 1 : 0);
+    return {begin, end};
+  }
+};
+
+ChunkPlan PlanChunks(size_t n);
+
+/// A lazily-initialized global pool of detachable workers. Workers are
+/// spawned on demand up to the largest thread count ever requested (capped
+/// at kMaxChunks) and joined at process exit. The pool only ever sees work
+/// from ParallelFor below; there is no general task-submission API on
+/// purpose — every use in this codebase is a blocking chunked loop with an
+/// ordered merge, and keeping the surface that narrow keeps the
+/// determinism contract auditable.
+class ThreadPool {
+ public:
+  static ThreadPool& Global();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs body(chunk, begin, end) for every chunk of `plan`, using up to
+  /// `threads` concurrent executors (the calling thread participates).
+  /// Blocks until every chunk completed. Chunks are claimed dynamically but
+  /// the chunk *identity* passed to the body is fixed by the plan, so
+  /// per-chunk outputs merged in chunk order are scheduling-independent.
+  void Run(int threads, const ChunkPlan& plan,
+           const std::function<void(size_t, size_t, size_t)>& body);
+
+ private:
+  ThreadPool() = default;
+
+  void EnsureWorkers(size_t want);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// The one parallel-loop primitive of the codebase. Splits [0, n) with
+/// PlanChunks and runs `body(chunk, begin, end)` for every chunk.
+///
+/// Determinism contract: with `threads <= 1` (after ResolveThreads the
+/// caller passes the resolved count) or a single-chunk plan, every chunk
+/// runs inline on the calling thread in chunk order — the exact serial
+/// code path, no pool, locks, or atomics. With more threads the same
+/// chunks run concurrently; callers that produce output MUST write into
+/// per-chunk slots and merge in chunk order, which yields bit-identical
+/// results to the serial path.
+void ParallelFor(int threads, size_t n,
+                 const std::function<void(size_t, size_t, size_t)>& body);
+
+/// Ordered reduction: `body(chunk, begin, end, &slot)` fills a private
+/// T per chunk; `merge(slot)` then consumes the slots on the calling
+/// thread in ascending chunk order. The shape every parallel hot path in
+/// gis/core uses to stay bit-identical to serial execution.
+template <typename T, typename Body, typename Merge>
+void OrderedReduce(int threads, size_t n, Body&& body, Merge&& merge) {
+  ChunkPlan plan = PlanChunks(n);
+  if (plan.num_chunks == 0) {
+    return;
+  }
+  std::vector<T> slots(plan.num_chunks);
+  ParallelFor(threads, n, [&](size_t chunk, size_t begin, size_t end) {
+    body(chunk, begin, end, &slots[chunk]);
+  });
+  for (size_t chunk = 0; chunk < plan.num_chunks; ++chunk) {
+    merge(std::move(slots[chunk]));
+  }
+}
+
+}  // namespace piet::parallel
+
+#endif  // PIET_COMMON_PARALLEL_H_

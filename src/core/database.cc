@@ -2,10 +2,44 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
+
 namespace piet::core {
 
 GeoOlapDatabase::GeoOlapDatabase(gis::GisDimensionInstance gis_instance)
     : gis_(std::move(gis_instance)) {}
+
+GeoOlapDatabase::GeoOlapDatabase(GeoOlapDatabase&& other) noexcept
+    : gis_(std::move(other.gis_)),
+      time_dim_(std::move(other.time_dim_)),
+      mofts_(std::move(other.mofts_)),
+      fact_tables_(std::move(other.fact_tables_)),
+      overlay_(std::move(other.overlay_)),
+      overlay_layers_(std::move(other.overlay_layers_)),
+      check_mode_(other.check_mode_),
+      check_options_(other.check_options_),
+      last_load_diagnostics_(std::move(other.last_load_diagnostics_)),
+      num_threads_(other.num_threads_),
+      epoch_(other.epoch_),
+      classify_cache_(std::move(other.classify_cache_)) {}
+
+GeoOlapDatabase& GeoOlapDatabase::operator=(GeoOlapDatabase&& other) noexcept {
+  if (this != &other) {
+    gis_ = std::move(other.gis_);
+    time_dim_ = std::move(other.time_dim_);
+    mofts_ = std::move(other.mofts_);
+    fact_tables_ = std::move(other.fact_tables_);
+    overlay_ = std::move(other.overlay_);
+    overlay_layers_ = std::move(other.overlay_layers_);
+    check_mode_ = other.check_mode_;
+    check_options_ = other.check_options_;
+    last_load_diagnostics_ = std::move(other.last_load_diagnostics_);
+    num_threads_ = other.num_threads_;
+    epoch_ = other.epoch_;
+    classify_cache_ = std::move(other.classify_cache_);
+  }
+  return *this;
+}
 
 analysis::DatabaseView GeoOlapDatabase::AnalysisView() const {
   analysis::DatabaseView view;
@@ -39,6 +73,7 @@ Status GeoOlapDatabase::AddMoft(const std::string& name, moving::Moft moft) {
     last_load_diagnostics_ = std::move(diagnostics);
   }
   mofts_.emplace(name, std::move(moft));
+  InvalidateClassifications();
   return Status::OK();
 }
 
@@ -89,16 +124,19 @@ Status GeoOlapDatabase::BuildOverlay(
     layers.push_back(layer);
   }
   if (convex) {
-    PIET_ASSIGN_OR_RETURN(gis::OverlayDb db,
-                          gis::OverlayDb::BuildConvex(std::move(layers)));
+    PIET_ASSIGN_OR_RETURN(
+        gis::OverlayDb db,
+        gis::OverlayDb::BuildConvex(std::move(layers), num_threads_));
     overlay_ = std::make_unique<gis::OverlayDb>(std::move(db));
   } else {
     PIET_ASSIGN_OR_RETURN(
         gis::OverlayDb db,
-        gis::OverlayDb::BuildQuadtree(std::move(layers), quadtree_depth));
+        gis::OverlayDb::BuildQuadtree(std::move(layers), quadtree_depth,
+                                      num_threads_));
     overlay_ = std::make_unique<gis::OverlayDb>(std::move(db));
   }
   overlay_layers_ = layer_names;
+  InvalidateClassifications();
   if (check_mode_ != analysis::CheckMode::kOff) {
     analysis::DiagnosticList diagnostics;
     analysis::ModelChecker(check_options_)
@@ -130,6 +168,51 @@ Result<size_t> GeoOlapDatabase::OverlayLayerIndex(
     return Status::NotFound("layer '" + layer_name + "' not in the overlay");
   }
   return static_cast<size_t>(it - overlay_layers_.begin());
+}
+
+void GeoOlapDatabase::InvalidateClassifications() {
+  std::lock_guard<std::mutex> lock(classify_mu_);
+  ++epoch_;
+  classify_cache_.clear();
+}
+
+size_t GeoOlapDatabase::classification_cache_size() const {
+  std::lock_guard<std::mutex> lock(classify_mu_);
+  return classify_cache_.size();
+}
+
+Result<std::shared_ptr<const SampleClassification>>
+GeoOlapDatabase::ClassifySamples(const std::string& moft_name,
+                                 const std::string& layer_name) const {
+  auto key = std::make_pair(moft_name, layer_name);
+  {
+    std::lock_guard<std::mutex> lock(classify_mu_);
+    auto it = classify_cache_.find(key);
+    if (it != classify_cache_.end()) {
+      return it->second;
+    }
+  }
+
+  PIET_ASSIGN_OR_RETURN(const moving::Moft* moft, GetMoft(moft_name));
+  PIET_ASSIGN_OR_RETURN(const gis::OverlayDb* ov, overlay());
+  PIET_ASSIGN_OR_RETURN(size_t layer_idx, OverlayLayerIndex(layer_name));
+
+  auto classification = std::make_shared<SampleClassification>();
+  classification->samples = moft->AllSamples();
+  std::vector<geometry::Point> points;
+  points.reserve(classification->samples.size());
+  for (const moving::Sample& s : classification->samples) {
+    points.push_back(s.pos);
+  }
+  classification->hits = ov->LocateBatch(points, layer_idx, num_threads_);
+
+  std::lock_guard<std::mutex> lock(classify_mu_);
+  classification->epoch = epoch_;
+  // A concurrent query may have classified the same pair meanwhile; keep
+  // the first stored entry so every caller shares one block.
+  auto [it, inserted] =
+      classify_cache_.emplace(key, std::move(classification));
+  return it->second;
 }
 
 }  // namespace piet::core

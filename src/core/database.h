@@ -1,9 +1,12 @@
 #ifndef PIET_CORE_DATABASE_H_
 #define PIET_CORE_DATABASE_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/diagnostic.h"
@@ -17,6 +20,19 @@
 
 namespace piet::core {
 
+/// The cached result of classifying every sample of one MOFT against one
+/// overlay layer: `samples` is the MOFT in Moft::AllSamples() order (by
+/// (Oid, t)) and `hits` holds, per sample, the containing geometry ids of
+/// the layer. Predicate- and time-independent, so one classification
+/// serves every query over the same (MOFT, overlay) pair.
+struct SampleClassification {
+  std::vector<moving::Sample> samples;
+  gis::BatchHits hits;
+  /// The overlay epoch this classification was computed at (diagnostics;
+  /// cached entries are dropped eagerly on invalidation).
+  uint64_t epoch = 0;
+};
+
 /// The integrated GIS + OLAP + moving-objects database of the paper's
 /// framework: one GIS dimension instance (layers, α bindings, application
 /// dimensions), the Time dimension, classical fact tables, MOFTs, and an
@@ -24,6 +40,13 @@ namespace piet::core {
 class GeoOlapDatabase {
  public:
   explicit GeoOlapDatabase(gis::GisDimensionInstance gis_instance);
+
+  // Movable but not copyable; the cache mutex stays with each instance
+  // (moves must not race with queries on the source).
+  GeoOlapDatabase(GeoOlapDatabase&& other) noexcept;
+  GeoOlapDatabase& operator=(GeoOlapDatabase&& other) noexcept;
+  GeoOlapDatabase(const GeoOlapDatabase&) = delete;
+  GeoOlapDatabase& operator=(const GeoOlapDatabase&) = delete;
 
   const gis::GisDimensionInstance& gis() const { return gis_; }
   gis::GisDimensionInstance& mutable_gis() { return gis_; }
@@ -74,7 +97,30 @@ class GeoOlapDatabase {
   /// The overlay-layer index of a layer name (as passed to BuildOverlay).
   Result<size_t> OverlayLayerIndex(const std::string& layer_name) const;
 
+  /// Worker threads for overlay construction and batched classification:
+  /// > 0 is explicit, 0 (default) resolves through the PIET_THREADS
+  /// environment variable (parallel::ResolveThreads). Every parallel path
+  /// is bit-identical to `threads = 1`.
+  void set_num_threads(int n) { num_threads_ = n; }
+  int num_threads() const { return num_threads_; }
+
+  /// Monotone counter identifying the (MOFT set, overlay) state the
+  /// classification cache was computed against; bumped by every AddMoft
+  /// and BuildOverlay.
+  uint64_t overlay_epoch() const { return epoch_; }
+
+  /// The classification of `moft` against overlay layer `layer_name`,
+  /// served from the per-(MOFT, overlay-epoch) cache when available.
+  /// Repeated queries over the same MOFT skip re-classification entirely;
+  /// AddMoft and BuildOverlay invalidate. Thread-safe.
+  Result<std::shared_ptr<const SampleClassification>> ClassifySamples(
+      const std::string& moft, const std::string& layer_name) const;
+
+  /// Number of live cache entries (tests/diagnostics).
+  size_t classification_cache_size() const;
+
  private:
+  void InvalidateClassifications();
   gis::GisDimensionInstance gis_;
   temporal::TimeDimension time_dim_;
   std::map<std::string, moving::Moft> mofts_;
@@ -84,6 +130,12 @@ class GeoOlapDatabase {
   analysis::CheckMode check_mode_ = analysis::CheckMode::kOff;
   analysis::ModelCheckOptions check_options_;
   analysis::DiagnosticList last_load_diagnostics_;
+  int num_threads_ = 0;
+  uint64_t epoch_ = 0;
+  mutable std::mutex classify_mu_;
+  mutable std::map<std::pair<std::string, std::string>,
+                   std::shared_ptr<const SampleClassification>>
+      classify_cache_;
 };
 
 }  // namespace piet::core

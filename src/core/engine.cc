@@ -4,6 +4,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "common/parallel.h"
 #include "moving/bead.h"
 #include "moving/traj_ops.h"
 
@@ -17,6 +18,7 @@ using moving::ObjectId;
 using moving::Sample;
 using moving::TrajectorySample;
 using olap::FactTable;
+using olap::Row;
 using temporal::Interval;
 using temporal::IntervalSet;
 using temporal::TimePoint;
@@ -33,10 +35,89 @@ std::string_view StrategyToString(Strategy s) {
   return "unknown";
 }
 
+namespace {
+
+/// Per-chunk output of the row-producing fan-outs below.
+struct RowChunk {
+  std::vector<Row> rows;
+  EngineStats stats;
+  Status status;
+};
+
+/// Runs body(begin, end, &rows, &stats) over a deterministic chunking of
+/// [0, n) and appends the per-chunk rows to `out` in chunk order — the
+/// exact row sequence of the serial loop, for any thread count. The first
+/// failing chunk (in chunk order) wins.
+template <typename Body>
+Status ParallelAppend(int threads, size_t n, FactTable* out,
+                      EngineStats* stats, const Body& body) {
+  Status failed;
+  parallel::OrderedReduce<RowChunk>(
+      threads, n,
+      [&](size_t /*chunk*/, size_t begin, size_t end, RowChunk* chunk) {
+        chunk->status = body(begin, end, &chunk->rows, &chunk->stats);
+      },
+      [&](RowChunk&& chunk) {
+        *stats += chunk.stats;
+        if (!failed.ok()) {
+          return;
+        }
+        if (!chunk.status.ok()) {
+          failed = chunk.status;
+          return;
+        }
+        for (Row& row : chunk.rows) {
+          Status appended = out->Append(std::move(row));
+          if (!appended.ok()) {
+            failed = appended;
+            return;
+          }
+        }
+      });
+  return failed;
+}
+
+/// Qualifying ids with their polygons resolved once, before any fan-out —
+/// worker chunks then index a flat array instead of re-running the layer
+/// lookup per (sample, polygon) pair.
+struct ResolvedPolygons {
+  std::vector<GeometryId> ids;
+  std::vector<const geometry::Polygon*> polys;
+};
+
+ResolvedPolygons ResolvePolygons(const Layer& layer,
+                                 const std::vector<GeometryId>& qualifying) {
+  ResolvedPolygons out;
+  out.ids.reserve(qualifying.size());
+  out.polys.reserve(qualifying.size());
+  for (GeometryId id : qualifying) {
+    auto pg = layer.GetPolygon(id);
+    if (pg.ok()) {
+      out.ids.push_back(id);
+      out.polys.push_back(pg.ValueOrDie());
+    }
+  }
+  return out;
+}
+
+/// The per-object time windows every trajectory method starts from.
+Result<IntervalSet> MatchingTimeOf(const TimePredicate& when,
+                                   const temporal::TimeDimension& dim,
+                                   const Interval& domain) {
+  if (when.unconstrained()) {
+    return IntervalSet({domain});
+  }
+  return when.MatchingIntervals(dim, domain);
+}
+
+}  // namespace
+
 Result<std::vector<GeometryId>> QueryEngine::QualifyingGeometries(
     const std::string& layer_name, const GeometryPredicate& pred) const {
   PIET_ASSIGN_OR_RETURN(const Layer* layer, db_->gis().GetLayer(layer_name));
   std::vector<GeometryId> out;
+  // Stays serial: predicates may memoize internally (WithinDistanceOfLayer,
+  // DensityMassGreater) and are not synchronized.
   for (GeometryId id : layer->ids()) {
     if (pred(*layer, id)) {
       out.push_back(id);
@@ -49,15 +130,23 @@ Result<olap::FactTable> QueryEngine::SamplesMatchingTime(
     const std::string& moft_name, const TimePredicate& when) const {
   stats_ = EngineStats{};
   PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
+  const std::vector<Sample> samples = moft->AllSamples();
   FactTable out = FactTable::Make({"Oid", "t", "x", "y"}, {});
-  for (const Sample& s : moft->AllSamples()) {
-    ++stats_.samples_scanned;
-    if (!when.Matches(db_->time_dimension(), s.t)) {
-      continue;
-    }
-    PIET_RETURN_NOT_OK(out.Append(
-        {Value(s.oid), Value(s.t.seconds), Value(s.pos.x), Value(s.pos.y)}));
-  }
+  PIET_RETURN_NOT_OK(ParallelAppend(
+      parallel::ResolveThreads(num_threads_), samples.size(), &out, &stats_,
+      [&](size_t begin, size_t end, std::vector<Row>* rows,
+          EngineStats* stats) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          const Sample& s = samples[i];
+          ++stats->samples_scanned;
+          if (!when.Matches(db_->time_dimension(), s.t)) {
+            continue;
+          }
+          rows->push_back({Value(s.oid), Value(s.t.seconds), Value(s.pos.x),
+                           Value(s.pos.y)});
+        }
+        return Status::OK();
+      }));
   return out;
 }
 
@@ -80,6 +169,9 @@ Result<QueryEngine::LocateContext> QueryEngine::MakeLocateContext(
       ctx.wanted[static_cast<size_t>(id)] = 1;
     }
   }
+  if (strategy == Strategy::kIndexed) {
+    ctx.layer->WarmIndex();
+  }
   if (strategy == Strategy::kOverlay) {
     PIET_ASSIGN_OR_RETURN(ctx.overlay, db_->overlay());
     PIET_ASSIGN_OR_RETURN(ctx.overlay_layer,
@@ -89,12 +181,13 @@ Result<QueryEngine::LocateContext> QueryEngine::MakeLocateContext(
 }
 
 void QueryEngine::LocateSample(const LocateContext& ctx, geometry::Point p,
-                               std::vector<GeometryId>* hits) const {
+                               std::vector<GeometryId>* hits,
+                               EngineStats* stats) const {
   hits->clear();
   switch (ctx.strategy) {
     case Strategy::kNaive: {
       for (size_t i = 0; i < ctx.qualifying_polygons.size(); ++i) {
-        ++stats_.point_tests;
+        ++stats->point_tests;
         if (ctx.qualifying_polygons[i]->Contains(p)) {
           hits->push_back(ctx.qualifying[i]);
         }
@@ -103,7 +196,7 @@ void QueryEngine::LocateSample(const LocateContext& ctx, geometry::Point p,
     }
     case Strategy::kIndexed: {
       for (GeometryId id : ctx.layer->GeometriesContaining(p)) {
-        ++stats_.point_tests;  // GeometriesContaining did the exact test.
+        ++stats->point_tests;  // GeometriesContaining did the exact test.
         if (ctx.wanted[static_cast<size_t>(id)]) {
           hits->push_back(id);
         }
@@ -134,20 +227,62 @@ Result<FactTable> QueryEngine::SampleRegion(const std::string& moft_name,
   PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
   PIET_ASSIGN_OR_RETURN(LocateContext ctx,
                         MakeLocateContext(layer_name, pred, strategy));
-
+  const int threads = parallel::ResolveThreads(num_threads_);
   FactTable out = FactTable::Make({"Oid", "t", "geom"}, {});
-  std::vector<GeometryId> hits;
-  for (const Sample& s : moft->AllSamples()) {
-    ++stats_.samples_scanned;
-    if (!when.Matches(db_->time_dimension(), s.t)) {
-      continue;
-    }
-    LocateSample(ctx, s.pos, &hits);
-    for (GeometryId g : hits) {
-      PIET_RETURN_NOT_OK(
-          out.Append({Value(s.oid), Value(s.t.seconds), Value(g)}));
-    }
+
+  if (strategy == Strategy::kOverlay) {
+    // The Sec. 5 fast path: the (MOFT, overlay-layer) classification is
+    // predicate- and time-independent, so it is computed once (batched
+    // across the pool) and served from the database cache on every
+    // subsequent query over the same MOFT.
+    PIET_ASSIGN_OR_RETURN(
+        std::shared_ptr<const SampleClassification> cls,
+        db_->ClassifySamples(moft_name, layer_name));
+    const std::vector<Sample>& samples = cls->samples;
+    const gis::BatchHits& hits = cls->hits;
+    PIET_RETURN_NOT_OK(ParallelAppend(
+        threads, samples.size(), &out, &stats_,
+        [&](size_t begin, size_t end, std::vector<Row>* rows,
+            EngineStats* stats) -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            const Sample& s = samples[i];
+            ++stats->samples_scanned;
+            if (!when.Matches(db_->time_dimension(), s.t)) {
+              continue;
+            }
+            for (uint32_t j = hits.offsets[i]; j < hits.offsets[i + 1];
+                 ++j) {
+              GeometryId g = hits.ids[j];
+              if (ctx.wanted[static_cast<size_t>(g)]) {
+                rows->push_back(
+                    {Value(s.oid), Value(s.t.seconds), Value(g)});
+              }
+            }
+          }
+          return Status::OK();
+        }));
+    return out;
   }
+
+  const std::vector<Sample> samples = moft->AllSamples();
+  PIET_RETURN_NOT_OK(ParallelAppend(
+      threads, samples.size(), &out, &stats_,
+      [&](size_t begin, size_t end, std::vector<Row>* rows,
+          EngineStats* stats) -> Status {
+        std::vector<GeometryId> hits;  // Chunk-local scratch.
+        for (size_t i = begin; i < end; ++i) {
+          const Sample& s = samples[i];
+          ++stats->samples_scanned;
+          if (!when.Matches(db_->time_dimension(), s.t)) {
+            continue;
+          }
+          LocateSample(ctx, s.pos, &hits, stats);
+          for (GeometryId g : hits) {
+            rows->push_back({Value(s.oid), Value(s.t.seconds), Value(g)});
+          }
+        }
+        return Status::OK();
+      }));
   return out;
 }
 
@@ -161,26 +296,36 @@ Result<FactTable> QueryEngine::SamplesOnPolylines(
       layer->kind() != gis::GeometryKind::kLine) {
     return Status::InvalidArgument("SamplesOnPolylines needs a line layer");
   }
+  layer->WarmIndex();
+  const std::vector<Sample> samples = moft->AllSamples();
   FactTable out = FactTable::Make({"Oid", "t", "geom"}, {});
-  for (const Sample& s : moft->AllSamples()) {
-    ++stats_.samples_scanned;
-    if (!when.Matches(db_->time_dimension(), s.t)) {
-      continue;
-    }
-    geometry::BoundingBox probe(s.pos.x - tolerance, s.pos.y - tolerance,
-                                s.pos.x + tolerance, s.pos.y + tolerance);
-    for (GeometryId id : layer->CandidatesInBox(probe)) {
-      auto line = layer->GetPolyline(id);
-      if (!line.ok()) {
-        continue;
-      }
-      ++stats_.point_tests;
-      if (line.ValueOrDie()->DistanceTo(s.pos) <= tolerance) {
-        PIET_RETURN_NOT_OK(
-            out.Append({Value(s.oid), Value(s.t.seconds), Value(id)}));
-      }
-    }
-  }
+  PIET_RETURN_NOT_OK(ParallelAppend(
+      parallel::ResolveThreads(num_threads_), samples.size(), &out, &stats_,
+      [&](size_t begin, size_t end, std::vector<Row>* rows,
+          EngineStats* stats) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          const Sample& s = samples[i];
+          ++stats->samples_scanned;
+          if (!when.Matches(db_->time_dimension(), s.t)) {
+            continue;
+          }
+          geometry::BoundingBox probe(s.pos.x - tolerance,
+                                      s.pos.y - tolerance,
+                                      s.pos.x + tolerance,
+                                      s.pos.y + tolerance);
+          for (GeometryId id : layer->CandidatesInBox(probe)) {
+            auto line = layer->GetPolyline(id);
+            if (!line.ok()) {
+              continue;
+            }
+            ++stats->point_tests;
+            if (line.ValueOrDie()->DistanceTo(s.pos) <= tolerance) {
+              rows->push_back({Value(s.oid), Value(s.t.seconds), Value(id)});
+            }
+          }
+        }
+        return Status::OK();
+      }));
   return out;
 }
 
@@ -194,26 +339,34 @@ Result<FactTable> QueryEngine::SamplesNearNodes(
       layer->kind() != gis::GeometryKind::kPoint) {
     return Status::InvalidArgument("SamplesNearNodes needs a node layer");
   }
+  layer->WarmIndex();
+  const std::vector<Sample> samples = moft->AllSamples();
   FactTable out = FactTable::Make({"Oid", "t", "node"}, {});
-  for (const Sample& s : moft->AllSamples()) {
-    ++stats_.samples_scanned;
-    if (!when.Matches(db_->time_dimension(), s.t)) {
-      continue;
-    }
-    geometry::BoundingBox probe(s.pos.x - radius, s.pos.y - radius,
-                                s.pos.x + radius, s.pos.y + radius);
-    for (GeometryId id : layer->CandidatesInBox(probe)) {
-      auto node = layer->GetPoint(id);
-      if (!node.ok()) {
-        continue;
-      }
-      ++stats_.point_tests;
-      if (Distance(node.ValueOrDie(), s.pos) <= radius) {
-        PIET_RETURN_NOT_OK(
-            out.Append({Value(s.oid), Value(s.t.seconds), Value(id)}));
-      }
-    }
-  }
+  PIET_RETURN_NOT_OK(ParallelAppend(
+      parallel::ResolveThreads(num_threads_), samples.size(), &out, &stats_,
+      [&](size_t begin, size_t end, std::vector<Row>* rows,
+          EngineStats* stats) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          const Sample& s = samples[i];
+          ++stats->samples_scanned;
+          if (!when.Matches(db_->time_dimension(), s.t)) {
+            continue;
+          }
+          geometry::BoundingBox probe(s.pos.x - radius, s.pos.y - radius,
+                                      s.pos.x + radius, s.pos.y + radius);
+          for (GeometryId id : layer->CandidatesInBox(probe)) {
+            auto node = layer->GetPoint(id);
+            if (!node.ok()) {
+              continue;
+            }
+            ++stats->point_tests;
+            if (Distance(node.ValueOrDie(), s.pos) <= radius) {
+              rows->push_back({Value(s.oid), Value(s.t.seconds), Value(id)});
+            }
+          }
+        }
+        return Status::OK();
+      }));
   return out;
 }
 
@@ -226,30 +379,36 @@ Result<FactTable> QueryEngine::SnapshotInRegion(const std::string& moft_name,
   PIET_ASSIGN_OR_RETURN(const Layer* layer, db_->gis().GetLayer(layer_name));
   PIET_ASSIGN_OR_RETURN(std::vector<GeometryId> qualifying,
                         QualifyingGeometries(layer_name, pred));
+  const ResolvedPolygons wanted = ResolvePolygons(*layer, qualifying);
+  const std::vector<ObjectId> oids = moft->ObjectIds();
 
   FactTable out = FactTable::Make({"Oid", "x", "y", "geom"}, {});
-  for (ObjectId oid : moft->ObjectIds()) {
-    PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
-                          TrajectorySample::FromMoft(*moft, oid));
-    PIET_ASSIGN_OR_RETURN(LinearTrajectory traj,
-                          LinearTrajectory::FromSample(std::move(sample)));
-    std::optional<geometry::Point> pos = traj.PositionAt(t);
-    if (!pos) {
-      continue;
-    }
-    ++stats_.samples_scanned;
-    for (GeometryId id : qualifying) {
-      auto pg = layer->GetPolygon(id);
-      if (!pg.ok()) {
-        continue;
-      }
-      ++stats_.point_tests;
-      if (pg.ValueOrDie()->Contains(*pos)) {
-        PIET_RETURN_NOT_OK(out.Append(
-            {Value(oid), Value(pos->x), Value(pos->y), Value(id)}));
-      }
-    }
-  }
+  PIET_RETURN_NOT_OK(ParallelAppend(
+      parallel::ResolveThreads(num_threads_), oids.size(), &out, &stats_,
+      [&](size_t begin, size_t end, std::vector<Row>* rows,
+          EngineStats* stats) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          ObjectId oid = oids[i];
+          PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
+                                TrajectorySample::FromMoft(*moft, oid));
+          PIET_ASSIGN_OR_RETURN(
+              LinearTrajectory traj,
+              LinearTrajectory::FromSample(std::move(sample)));
+          std::optional<geometry::Point> pos = traj.PositionAt(t);
+          if (!pos) {
+            continue;
+          }
+          ++stats->samples_scanned;
+          for (size_t qi = 0; qi < wanted.ids.size(); ++qi) {
+            ++stats->point_tests;
+            if (wanted.polys[qi]->Contains(*pos)) {
+              rows->push_back({Value(oid), Value(pos->x), Value(pos->y),
+                               Value(wanted.ids[qi])});
+            }
+          }
+        }
+        return Status::OK();
+      }));
   return out;
 }
 
@@ -265,39 +424,42 @@ Result<FactTable> QueryEngine::TrajectoryRegion(const std::string& moft_name,
   }
   PIET_ASSIGN_OR_RETURN(std::vector<GeometryId> qualifying,
                         QualifyingGeometries(layer_name, pred));
+  const ResolvedPolygons wanted = ResolvePolygons(*layer, qualifying);
+  const std::vector<ObjectId> oids = moft->ObjectIds();
 
   FactTable out = FactTable::Make({"Oid", "geom", "enter", "leave"}, {});
-  for (ObjectId oid : moft->ObjectIds()) {
-    PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
-                          TrajectorySample::FromMoft(*moft, oid));
-    PIET_ASSIGN_OR_RETURN(LinearTrajectory traj,
-                          LinearTrajectory::FromSample(std::move(sample)));
-    Interval domain = traj.TimeDomain();
-    IntervalSet time_ok;
-    if (when.unconstrained()) {
-      time_ok = IntervalSet({domain});
-    } else {
-      PIET_ASSIGN_OR_RETURN(
-          time_ok, when.MatchingIntervals(db_->time_dimension(), domain));
-    }
-    if (time_ok.empty()) {
-      continue;
-    }
-    stats_.legs_tested += traj.Legs().size();
-    for (GeometryId id : qualifying) {
-      auto pg = layer->GetPolygon(id);
-      if (!pg.ok()) {
-        continue;
-      }
-      IntervalSet inside = moving::InsideIntervals(traj, *pg.ValueOrDie());
-      IntervalSet matched = inside.Intersect(time_ok);
-      for (const Interval& iv : matched.intervals()) {
-        PIET_RETURN_NOT_OK(out.Append({Value(oid), Value(id),
-                                       Value(iv.begin.seconds),
-                                       Value(iv.end.seconds)}));
-      }
-    }
-  }
+  PIET_RETURN_NOT_OK(ParallelAppend(
+      parallel::ResolveThreads(num_threads_), oids.size(), &out, &stats_,
+      [&](size_t begin, size_t end, std::vector<Row>* rows,
+          EngineStats* stats) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          ObjectId oid = oids[i];
+          PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
+                                TrajectorySample::FromMoft(*moft, oid));
+          PIET_ASSIGN_OR_RETURN(
+              LinearTrajectory traj,
+              LinearTrajectory::FromSample(std::move(sample)));
+          Interval domain = traj.TimeDomain();
+          PIET_ASSIGN_OR_RETURN(
+              IntervalSet time_ok,
+              MatchingTimeOf(when, db_->time_dimension(), domain));
+          if (time_ok.empty()) {
+            continue;
+          }
+          stats->legs_tested += traj.Legs().size();
+          for (size_t qi = 0; qi < wanted.ids.size(); ++qi) {
+            IntervalSet inside =
+                moving::InsideIntervals(traj, *wanted.polys[qi]);
+            IntervalSet matched = inside.Intersect(time_ok);
+            for (const Interval& iv : matched.intervals()) {
+              rows->push_back({Value(oid), Value(wanted.ids[qi]),
+                               Value(iv.begin.seconds),
+                               Value(iv.end.seconds)});
+            }
+          }
+        }
+        return Status::OK();
+      }));
   return out;
 }
 
@@ -311,48 +473,55 @@ Result<FactTable> QueryEngine::TrajectoryNearNodes(
       layer->kind() != gis::GeometryKind::kPoint) {
     return Status::InvalidArgument("TrajectoryNearNodes needs a node layer");
   }
+  layer->WarmIndex();
+  const std::vector<ObjectId> oids = moft->ObjectIds();
 
   FactTable out = FactTable::Make({"Oid", "node", "enter", "leave"}, {});
-  for (ObjectId oid : moft->ObjectIds()) {
-    PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
-                          TrajectorySample::FromMoft(*moft, oid));
-    PIET_ASSIGN_OR_RETURN(LinearTrajectory traj,
-                          LinearTrajectory::FromSample(std::move(sample)));
-    Interval domain = traj.TimeDomain();
-    IntervalSet time_ok;
-    if (when.unconstrained()) {
-      time_ok = IntervalSet({domain});
-    } else {
-      PIET_ASSIGN_OR_RETURN(
-          time_ok, when.MatchingIntervals(db_->time_dimension(), domain));
-    }
-    if (time_ok.empty()) {
-      continue;
-    }
-    stats_.legs_tested += traj.Legs().size();
-    // Candidate nodes: those within radius of the trajectory's bounds.
-    geometry::BoundingBox probe;
-    for (const moving::TimedPoint& tp : traj.sample().points()) {
-      probe.ExtendWith(tp.pos);
-    }
-    geometry::BoundingBox expanded(probe.min_x - radius, probe.min_y - radius,
-                                   probe.max_x + radius, probe.max_y + radius);
-    for (GeometryId id : layer->CandidatesInBox(expanded)) {
-      auto node = layer->GetPoint(id);
-      if (!node.ok()) {
-        continue;
-      }
-      ++stats_.point_tests;
-      IntervalSet near =
-          moving::WithinDistanceIntervals(traj, node.ValueOrDie(), radius);
-      IntervalSet matched = near.Intersect(time_ok);
-      for (const Interval& iv : matched.intervals()) {
-        PIET_RETURN_NOT_OK(out.Append({Value(oid), Value(id),
-                                       Value(iv.begin.seconds),
-                                       Value(iv.end.seconds)}));
-      }
-    }
-  }
+  PIET_RETURN_NOT_OK(ParallelAppend(
+      parallel::ResolveThreads(num_threads_), oids.size(), &out, &stats_,
+      [&](size_t begin, size_t end, std::vector<Row>* rows,
+          EngineStats* stats) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          ObjectId oid = oids[i];
+          PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
+                                TrajectorySample::FromMoft(*moft, oid));
+          PIET_ASSIGN_OR_RETURN(
+              LinearTrajectory traj,
+              LinearTrajectory::FromSample(std::move(sample)));
+          Interval domain = traj.TimeDomain();
+          PIET_ASSIGN_OR_RETURN(
+              IntervalSet time_ok,
+              MatchingTimeOf(when, db_->time_dimension(), domain));
+          if (time_ok.empty()) {
+            continue;
+          }
+          stats->legs_tested += traj.Legs().size();
+          // Candidate nodes: those within radius of the trajectory's bounds.
+          geometry::BoundingBox probe;
+          for (const moving::TimedPoint& tp : traj.sample().points()) {
+            probe.ExtendWith(tp.pos);
+          }
+          geometry::BoundingBox expanded(
+              probe.min_x - radius, probe.min_y - radius,
+              probe.max_x + radius, probe.max_y + radius);
+          for (GeometryId id : layer->CandidatesInBox(expanded)) {
+            auto node = layer->GetPoint(id);
+            if (!node.ok()) {
+              continue;
+            }
+            ++stats->point_tests;
+            IntervalSet near = moving::WithinDistanceIntervals(
+                traj, node.ValueOrDie(), radius);
+            IntervalSet matched = near.Intersect(time_ok);
+            for (const Interval& iv : matched.intervals()) {
+              rows->push_back({Value(oid), Value(id),
+                               Value(iv.begin.seconds),
+                               Value(iv.end.seconds)});
+            }
+          }
+        }
+        return Status::OK();
+      }));
   return out;
 }
 
@@ -367,32 +536,39 @@ Result<FactTable> QueryEngine::TrajectoryAggregates(
   }
   PIET_ASSIGN_OR_RETURN(std::vector<GeometryId> qualifying,
                         QualifyingGeometries(layer_name, pred));
+  const ResolvedPolygons wanted = ResolvePolygons(*layer, qualifying);
+  const std::vector<ObjectId> oids = moft->ObjectIds();
 
   FactTable out = FactTable::Make({"Oid", "geom"},
                                   {"distance", "seconds", "visits"});
-  for (ObjectId oid : moft->ObjectIds()) {
-    PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
-                          TrajectorySample::FromMoft(*moft, oid));
-    PIET_ASSIGN_OR_RETURN(LinearTrajectory traj,
-                          LinearTrajectory::FromSample(std::move(sample)));
-    stats_.legs_tested += traj.Legs().size();
-    for (GeometryId id : qualifying) {
-      auto pg = layer->GetPolygon(id);
-      if (!pg.ok()) {
-        continue;
-      }
-      IntervalSet inside = moving::InsideIntervals(traj, *pg.ValueOrDie());
-      if (inside.empty()) {
-        continue;
-      }
-      double distance =
-          moving::DistanceTravelledInside(traj, *pg.ValueOrDie());
-      PIET_RETURN_NOT_OK(out.Append(
-          {Value(oid), Value(id), Value(distance),
-           Value(inside.TotalLength()),
-           Value(static_cast<int64_t>(inside.size()))}));
-    }
-  }
+  PIET_RETURN_NOT_OK(ParallelAppend(
+      parallel::ResolveThreads(num_threads_), oids.size(), &out, &stats_,
+      [&](size_t begin, size_t end, std::vector<Row>* rows,
+          EngineStats* stats) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          ObjectId oid = oids[i];
+          PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
+                                TrajectorySample::FromMoft(*moft, oid));
+          PIET_ASSIGN_OR_RETURN(
+              LinearTrajectory traj,
+              LinearTrajectory::FromSample(std::move(sample)));
+          stats->legs_tested += traj.Legs().size();
+          for (size_t qi = 0; qi < wanted.ids.size(); ++qi) {
+            IntervalSet inside =
+                moving::InsideIntervals(traj, *wanted.polys[qi]);
+            if (inside.empty()) {
+              continue;
+            }
+            double distance =
+                moving::DistanceTravelledInside(traj, *wanted.polys[qi]);
+            rows->push_back(
+                {Value(oid), Value(wanted.ids[qi]), Value(distance),
+                 Value(inside.TotalLength()),
+                 Value(static_cast<int64_t>(inside.size()))});
+          }
+        }
+        return Status::OK();
+      }));
   return out;
 }
 
@@ -408,29 +584,53 @@ Result<std::vector<ObjectId>> QueryEngine::ObjectsPossiblyWithin(
   }
   PIET_ASSIGN_OR_RETURN(std::vector<GeometryId> qualifying,
                         QualifyingGeometries(layer_name, pred));
+  const ResolvedPolygons wanted = ResolvePolygons(*layer, qualifying);
+  const std::vector<ObjectId> oids = moft->ObjectIds();
+
+  struct IdChunk {
+    std::vector<ObjectId> out;
+    EngineStats stats;
+    Status status;
+  };
   std::vector<ObjectId> out;
-  for (ObjectId oid : moft->ObjectIds()) {
-    PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
-                          TrajectorySample::FromMoft(*moft, oid));
-    stats_.legs_tested +=
-        sample.size() > 0 ? sample.size() - 1 : 0;
-    bool possible = false;
-    for (GeometryId id : qualifying) {
-      auto pg = layer->GetPolygon(id);
-      if (!pg.ok()) {
-        continue;
-      }
-      PIET_ASSIGN_OR_RETURN(
-          bool hit,
-          moving::PossiblyPassesThrough(sample, vmax, *pg.ValueOrDie()));
-      if (hit) {
-        possible = true;
-        break;
-      }
-    }
-    if (possible) {
-      out.push_back(oid);
-    }
+  Status failed;
+  parallel::OrderedReduce<IdChunk>(
+      parallel::ResolveThreads(num_threads_), oids.size(),
+      [&](size_t /*chunk*/, size_t begin, size_t end, IdChunk* chunk) {
+        chunk->status = [&]() -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            ObjectId oid = oids[i];
+            PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
+                                  TrajectorySample::FromMoft(*moft, oid));
+            chunk->stats.legs_tested +=
+                sample.size() > 0 ? sample.size() - 1 : 0;
+            bool possible = false;
+            for (const geometry::Polygon* pg : wanted.polys) {
+              PIET_ASSIGN_OR_RETURN(
+                  bool hit, moving::PossiblyPassesThrough(sample, vmax, *pg));
+              if (hit) {
+                possible = true;
+                break;
+              }
+            }
+            if (possible) {
+              chunk->out.push_back(oid);
+            }
+          }
+          return Status::OK();
+        }();
+      },
+      [&](IdChunk&& chunk) {
+        stats_ += chunk.stats;
+        if (failed.ok() && !chunk.status.ok()) {
+          failed = chunk.status;
+        }
+        if (failed.ok()) {
+          out.insert(out.end(), chunk.out.begin(), chunk.out.end());
+        }
+      });
+  if (!failed.ok()) {
+    return failed;
   }
   return out;
 }
@@ -444,72 +644,89 @@ Result<std::vector<ObjectId>> QueryEngine::ObjectsAlwaysWithin(
   PIET_ASSIGN_OR_RETURN(const Layer* layer, db_->gis().GetLayer(layer_name));
   PIET_ASSIGN_OR_RETURN(std::vector<GeometryId> qualifying,
                         QualifyingGeometries(layer_name, pred));
+  const ResolvedPolygons wanted = ResolvePolygons(*layer, qualifying);
+  const std::vector<ObjectId> oids = moft->ObjectIds();
 
+  struct IdChunk {
+    std::vector<ObjectId> out;
+    EngineStats stats;
+    Status status;
+  };
   std::vector<ObjectId> out;
-  for (ObjectId oid : moft->ObjectIds()) {
-    bool ok = true;
-    bool any = false;
-    if (trajectory_semantics) {
-      PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
-                            TrajectorySample::FromMoft(*moft, oid));
-      PIET_ASSIGN_OR_RETURN(LinearTrajectory traj,
-                            LinearTrajectory::FromSample(std::move(sample)));
-      Interval domain = traj.TimeDomain();
-      IntervalSet time_ok;
-      if (when.unconstrained()) {
-        time_ok = IntervalSet({domain});
-      } else {
-        PIET_ASSIGN_OR_RETURN(
-            time_ok, when.MatchingIntervals(db_->time_dimension(), domain));
-      }
-      if (time_ok.empty()) {
-        continue;
-      }
-      stats_.legs_tested += traj.Legs().size();
-      // Union of inside intervals over all qualifying polygons must cover
-      // every time-matching instant of the domain.
-      IntervalSet inside_union;
-      for (GeometryId id : qualifying) {
-        auto pg = layer->GetPolygon(id);
-        if (!pg.ok()) {
-          continue;
-        }
-        inside_union =
-            inside_union.Union(moving::InsideIntervals(traj, *pg.ValueOrDie()));
-      }
-      IntervalSet required = time_ok;
-      IntervalSet covered = required.Intersect(inside_union);
-      any = !required.empty();
-      ok = covered.TotalLength() >= required.TotalLength() - 1e-9 &&
-           covered.size() == required.size();
-    } else {
-      for (const Sample& s : moft->SamplesOf(oid)) {
-        ++stats_.samples_scanned;
-        if (!when.Matches(db_->time_dimension(), s.t)) {
-          continue;
-        }
-        any = true;
-        bool inside = false;
-        for (GeometryId id : qualifying) {
-          auto pg = layer->GetPolygon(id);
-          if (!pg.ok()) {
-            continue;
+  Status failed;
+  parallel::OrderedReduce<IdChunk>(
+      parallel::ResolveThreads(num_threads_), oids.size(),
+      [&](size_t /*chunk*/, size_t begin, size_t end, IdChunk* chunk) {
+        chunk->status = [&]() -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            ObjectId oid = oids[i];
+            bool ok = true;
+            bool any = false;
+            if (trajectory_semantics) {
+              PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
+                                    TrajectorySample::FromMoft(*moft, oid));
+              PIET_ASSIGN_OR_RETURN(
+                  LinearTrajectory traj,
+                  LinearTrajectory::FromSample(std::move(sample)));
+              Interval domain = traj.TimeDomain();
+              PIET_ASSIGN_OR_RETURN(
+                  IntervalSet time_ok,
+                  MatchingTimeOf(when, db_->time_dimension(), domain));
+              if (time_ok.empty()) {
+                continue;
+              }
+              chunk->stats.legs_tested += traj.Legs().size();
+              // Union of inside intervals over all qualifying polygons must
+              // cover every time-matching instant of the domain.
+              IntervalSet inside_union;
+              for (const geometry::Polygon* pg : wanted.polys) {
+                inside_union =
+                    inside_union.Union(moving::InsideIntervals(traj, *pg));
+              }
+              IntervalSet required = time_ok;
+              IntervalSet covered = required.Intersect(inside_union);
+              any = !required.empty();
+              ok = covered.TotalLength() >= required.TotalLength() - 1e-9 &&
+                   covered.size() == required.size();
+            } else {
+              for (const Sample& s : moft->SamplesOf(oid)) {
+                ++chunk->stats.samples_scanned;
+                if (!when.Matches(db_->time_dimension(), s.t)) {
+                  continue;
+                }
+                any = true;
+                bool inside = false;
+                for (const geometry::Polygon* pg : wanted.polys) {
+                  ++chunk->stats.point_tests;
+                  if (pg->Contains(s.pos)) {
+                    inside = true;
+                    break;
+                  }
+                }
+                if (!inside) {
+                  ok = false;
+                  break;
+                }
+              }
+            }
+            if (ok && any) {
+              chunk->out.push_back(oid);
+            }
           }
-          ++stats_.point_tests;
-          if (pg.ValueOrDie()->Contains(s.pos)) {
-            inside = true;
-            break;
-          }
+          return Status::OK();
+        }();
+      },
+      [&](IdChunk&& chunk) {
+        stats_ += chunk.stats;
+        if (failed.ok() && !chunk.status.ok()) {
+          failed = chunk.status;
         }
-        if (!inside) {
-          ok = false;
-          break;
+        if (failed.ok()) {
+          out.insert(out.end(), chunk.out.begin(), chunk.out.end());
         }
-      }
-    }
-    if (ok && any) {
-      out.push_back(oid);
-    }
+      });
+  if (!failed.ok()) {
+    return failed;
   }
   return out;
 }

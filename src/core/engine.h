@@ -26,11 +26,20 @@ enum class Strategy {
 
 std::string_view StrategyToString(Strategy s);
 
-/// Work counters for one engine call (benchmark instrumentation).
+/// Work counters for one engine call (benchmark instrumentation). Parallel
+/// paths accumulate one instance per chunk and sum them in chunk order, so
+/// the totals are thread-count independent.
 struct EngineStats {
   size_t samples_scanned = 0;  ///< MOFT rows visited.
   size_t point_tests = 0;      ///< Exact point-in-polygon tests.
   size_t legs_tested = 0;      ///< Trajectory legs geometrically processed.
+
+  EngineStats& operator+=(const EngineStats& other) {
+    samples_scanned += other.samples_scanned;
+    point_tests += other.point_tests;
+    legs_tested += other.legs_tested;
+    return *this;
+  }
 };
 
 /// Evaluates the paper's spatio-temporal aggregate queries against a
@@ -43,6 +52,13 @@ class QueryEngine {
   explicit QueryEngine(const GeoOlapDatabase* db) : db_(db) {}
 
   const GeoOlapDatabase& db() const { return *db_; }
+
+  /// Worker threads for the sample/object fan-outs: > 0 is explicit, 0
+  /// (default) resolves through the PIET_THREADS environment variable.
+  /// Every result (rows, order, aggregates, stats) is bit-identical to
+  /// `threads = 1`, which runs the serial code path.
+  void set_num_threads(int n) { num_threads_ = n; }
+  int num_threads() const { return num_threads_; }
 
   // -- Type 3: trajectory samples only ----------------------------------
 
@@ -154,11 +170,14 @@ class QueryEngine {
                                           const GeometryPredicate& pred,
                                           Strategy strategy) const;
 
-  /// Sample -> containing qualifying polygons; writes into `hits`.
+  /// Sample -> containing qualifying polygons; writes into `hits` and
+  /// counts work into `stats` (chunk-local under the fan-outs).
   void LocateSample(const LocateContext& ctx, geometry::Point p,
-                    std::vector<gis::GeometryId>* hits) const;
+                    std::vector<gis::GeometryId>* hits,
+                    EngineStats* stats) const;
 
   const GeoOlapDatabase* db_;
+  int num_threads_ = 0;
   mutable EngineStats stats_;
 };
 

@@ -1,10 +1,12 @@
 #include "core/pietql/evaluator.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
 
 #include "analysis/query_check.h"
+#include "common/parallel.h"
 #include "core/pietql/parser.h"
 #include "core/region.h"
 #include "geometry/segment_polygon.h"
@@ -152,6 +154,43 @@ bool CompareValues(const Value& lhs, CompareOp op, const Value& rhs) {
   return false;
 }
 
+/// The qualifying result-layer geometries with their polygons resolved
+/// once, before the per-object loops: ids ascending (the order the old
+/// std::set iterated in), polygons index-aligned.
+struct WantedPolygons {
+  std::vector<GeometryId> ids;
+  std::vector<const geometry::Polygon*> polys;
+
+  bool contains(GeometryId id) const {
+    return std::binary_search(ids.begin(), ids.end(), id);
+  }
+};
+
+WantedPolygons ResolveWanted(const Layer& layer,
+                             const std::vector<GeometryId>& geometry_ids) {
+  std::vector<GeometryId> sorted(geometry_ids);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  WantedPolygons out;
+  out.ids.reserve(sorted.size());
+  out.polys.reserve(sorted.size());
+  for (GeometryId id : sorted) {
+    auto pg = layer.GetPolygon(id);
+    if (pg.ok()) {
+      out.ids.push_back(id);
+      out.polys.push_back(pg.ValueOrDie());
+    }
+  }
+  return out;
+}
+
+/// One (Oid, t) tuple list per chunk, merged in chunk order so the final
+/// tuple sequence matches the serial loop for any thread count.
+struct TupleChunk {
+  std::vector<std::pair<ObjectId, double>> tuples;
+  Status status;
+};
+
 }  // namespace
 
 Result<std::vector<GeometryId>> Evaluator::EvaluateGeoPart(
@@ -278,42 +317,65 @@ Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
         "spatial moving-object conditions need a polygon result layer");
   }
 
-  // Build the region C as (Oid, t) tuples.
-  std::set<GeometryId> wanted(result.geometry_ids.begin(),
-                              result.geometry_ids.end());
+  // Build the region C as (Oid, t) tuples. Each branch fans its loop out
+  // across the pool in deterministic chunks merged in chunk order, so the
+  // tuple sequence is identical to the serial loop for any thread count.
+  const int threads = parallel::ResolveThreads(num_threads_);
   std::vector<std::pair<ObjectId, double>> tuples;
+  Status fanout_failed;
+  auto merge_tuples = [&](TupleChunk&& chunk) {
+    if (fanout_failed.ok() && !chunk.status.ok()) {
+      fanout_failed = chunk.status;
+    }
+    if (fanout_failed.ok()) {
+      tuples.insert(tuples.end(), chunk.tuples.begin(), chunk.tuples.end());
+    }
+  };
 
   if (passes_through) {
     // Trajectory semantics: each maximal inside interval contributes a
-    // tuple stamped at its entry time.
-    for (ObjectId oid : moft->ObjectIds()) {
-      PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
-                            TrajectorySample::FromMoft(*moft, oid));
-      PIET_ASSIGN_OR_RETURN(LinearTrajectory traj,
-                            LinearTrajectory::FromSample(std::move(sample)));
-      Interval domain = traj.TimeDomain();
-      IntervalSet time_ok;
-      if (when.unconstrained()) {
-        time_ok = IntervalSet({domain});
-      } else {
-        PIET_ASSIGN_OR_RETURN(
-            time_ok, when.MatchingIntervals(db_->time_dimension(), domain));
-      }
-      if (time_ok.empty()) {
-        continue;
-      }
-      for (GeometryId id : wanted) {
-        auto pg = layer->GetPolygon(id);
-        if (!pg.ok()) {
-          continue;
-        }
-        IntervalSet inside = moving::InsideIntervals(traj, *pg.ValueOrDie());
-        IntervalSet matched = inside.Intersect(time_ok);
-        for (const Interval& iv : matched.intervals()) {
-          tuples.emplace_back(oid, iv.begin.seconds);
-        }
-      }
-    }
+    // tuple stamped at its entry time. The qualifying polygons are
+    // resolved once (ascending id, as the old std::set iterated); each
+    // object's LinearTrajectory construction + InsideIntervals runs on
+    // the pool.
+    const WantedPolygons wanted = ResolveWanted(*layer, result.geometry_ids);
+    const std::vector<ObjectId> oids = moft->ObjectIds();
+    parallel::OrderedReduce<TupleChunk>(
+        threads, oids.size(),
+        [&](size_t /*chunk*/, size_t begin, size_t end, TupleChunk* chunk) {
+          chunk->status = [&]() -> Status {
+            for (size_t i = begin; i < end; ++i) {
+              ObjectId oid = oids[i];
+              PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
+                                    TrajectorySample::FromMoft(*moft, oid));
+              PIET_ASSIGN_OR_RETURN(
+                  LinearTrajectory traj,
+                  LinearTrajectory::FromSample(std::move(sample)));
+              Interval domain = traj.TimeDomain();
+              IntervalSet time_ok;
+              if (when.unconstrained()) {
+                time_ok = IntervalSet({domain});
+              } else {
+                PIET_ASSIGN_OR_RETURN(
+                    time_ok,
+                    when.MatchingIntervals(db_->time_dimension(), domain));
+              }
+              if (time_ok.empty()) {
+                continue;
+              }
+              for (size_t qi = 0; qi < wanted.ids.size(); ++qi) {
+                IntervalSet inside =
+                    moving::InsideIntervals(traj, *wanted.polys[qi]);
+                IntervalSet matched = inside.Intersect(time_ok);
+                for (const Interval& iv : matched.intervals()) {
+                  chunk->tuples.emplace_back(oid, iv.begin.seconds);
+                }
+              }
+            }
+            return Status::OK();
+          }();
+        },
+        merge_tuples);
   } else if (near_cond != nullptr) {
     // Sample-proximity semantics: tuples within `radius` of any node of
     // the named layer.
@@ -323,40 +385,87 @@ Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
         nodes->kind() != GeometryKind::kPoint) {
       return Status::InvalidArgument("NEAR needs a point/node layer");
     }
+    nodes->WarmIndex();
     double radius = near_cond->radius;
-    for (const moving::Sample& s : moft->AllSamples()) {
-      if (!when.Matches(db_->time_dimension(), s.t)) {
-        continue;
-      }
-      geometry::BoundingBox probe(s.pos.x - radius, s.pos.y - radius,
-                                  s.pos.x + radius, s.pos.y + radius);
-      for (GeometryId id : nodes->CandidatesInBox(probe)) {
-        auto node = nodes->GetPoint(id);
-        if (node.ok() && Distance(node.ValueOrDie(), s.pos) <= radius) {
-          tuples.emplace_back(s.oid, s.t.seconds);
-          break;
-        }
-      }
-    }
+    const std::vector<moving::Sample> samples = moft->AllSamples();
+    parallel::OrderedReduce<TupleChunk>(
+        threads, samples.size(),
+        [&](size_t /*chunk*/, size_t begin, size_t end, TupleChunk* chunk) {
+          for (size_t i = begin; i < end; ++i) {
+            const moving::Sample& s = samples[i];
+            if (!when.Matches(db_->time_dimension(), s.t)) {
+              continue;
+            }
+            geometry::BoundingBox probe(s.pos.x - radius, s.pos.y - radius,
+                                        s.pos.x + radius, s.pos.y + radius);
+            for (GeometryId id : nodes->CandidatesInBox(probe)) {
+              auto node = nodes->GetPoint(id);
+              if (node.ok() && Distance(node.ValueOrDie(), s.pos) <= radius) {
+                chunk->tuples.emplace_back(s.oid, s.t.seconds);
+                break;
+              }
+            }
+          }
+        },
+        merge_tuples);
   } else if (inside_result) {
-    for (const moving::Sample& s : moft->AllSamples()) {
-      if (!when.Matches(db_->time_dimension(), s.t)) {
-        continue;
-      }
-      for (GeometryId id : wanted) {
-        auto pg = layer->GetPolygon(id);
-        if (pg.ok() && pg.ValueOrDie()->Contains(s.pos)) {
-          tuples.emplace_back(s.oid, s.t.seconds);
-          break;  // One tuple per sample, even on shared boundaries.
-        }
-      }
+    const WantedPolygons wanted = ResolveWanted(*layer, result.geometry_ids);
+    // When the overlay covers the result layer, reuse the cached batched
+    // classification (one point location per sample, shared across
+    // queries) and filter hits against the sorted wanted ids; otherwise
+    // test the resolved polygons directly. Both paths emit one tuple per
+    // sample, even on shared boundaries.
+    std::shared_ptr<const SampleClassification> cls;
+    if (db_->HasOverlay() &&
+        db_->OverlayLayerIndex(result.result_layer).ok()) {
+      PIET_ASSIGN_OR_RETURN(
+          cls, db_->ClassifySamples(mo.moft, result.result_layer));
     }
+    const std::vector<moving::Sample> samples =
+        cls ? cls->samples : moft->AllSamples();
+    parallel::OrderedReduce<TupleChunk>(
+        threads, samples.size(),
+        [&](size_t /*chunk*/, size_t begin, size_t end, TupleChunk* chunk) {
+          for (size_t i = begin; i < end; ++i) {
+            const moving::Sample& s = samples[i];
+            if (!when.Matches(db_->time_dimension(), s.t)) {
+              continue;
+            }
+            if (cls) {
+              for (uint32_t j = cls->hits.offsets[i];
+                   j < cls->hits.offsets[i + 1]; ++j) {
+                if (wanted.contains(cls->hits.ids[j])) {
+                  chunk->tuples.emplace_back(s.oid, s.t.seconds);
+                  break;
+                }
+              }
+              continue;
+            }
+            for (size_t qi = 0; qi < wanted.ids.size(); ++qi) {
+              if (wanted.polys[qi]->Contains(s.pos)) {
+                chunk->tuples.emplace_back(s.oid, s.t.seconds);
+                break;
+              }
+            }
+          }
+        },
+        merge_tuples);
   } else {
-    for (const moving::Sample& s : moft->AllSamples()) {
-      if (when.Matches(db_->time_dimension(), s.t)) {
-        tuples.emplace_back(s.oid, s.t.seconds);
-      }
-    }
+    const std::vector<moving::Sample> samples = moft->AllSamples();
+    parallel::OrderedReduce<TupleChunk>(
+        threads, samples.size(),
+        [&](size_t /*chunk*/, size_t begin, size_t end, TupleChunk* chunk) {
+          for (size_t i = begin; i < end; ++i) {
+            const moving::Sample& s = samples[i];
+            if (when.Matches(db_->time_dimension(), s.t)) {
+              chunk->tuples.emplace_back(s.oid, s.t.seconds);
+            }
+          }
+        },
+        merge_tuples);
+  }
+  if (!fanout_failed.ok()) {
+    return fanout_failed;
   }
 
   // Aggregate.

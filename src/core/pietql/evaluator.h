@@ -49,6 +49,13 @@ class Evaluator {
   void set_check_mode(analysis::CheckMode mode) { check_mode_ = mode; }
   analysis::CheckMode check_mode() const { return check_mode_; }
 
+  /// Worker threads for the moving-object branches (INSIDE RESULT, NEAR,
+  /// PASSES THROUGH): > 0 is explicit, 0 (default) resolves through the
+  /// PIET_THREADS environment variable. Results are bit-identical to
+  /// `threads = 1` for every thread count.
+  void set_num_threads(int n) { num_threads_ = n; }
+  int num_threads() const { return num_threads_; }
+
   Result<QueryResult> Evaluate(const Query& query) const;
 
   /// Parses and evaluates in one step.
@@ -65,6 +72,7 @@ class Evaluator {
 
   const GeoOlapDatabase* db_;
   analysis::CheckMode check_mode_ = analysis::CheckMode::kOff;
+  int num_threads_ = 0;
 };
 
 }  // namespace piet::core::pietql

@@ -84,6 +84,11 @@ class Layer {
   /// Bounds of an element.
   Result<geometry::BoundingBox> BoundsOf(GeometryId id) const;
 
+  /// Forces the lazy R-tree build now. The index is built on first spatial
+  /// query and that first build mutates shared state — call this before
+  /// fanning CandidatesInBox/GeometriesContaining across threads.
+  void WarmIndex() const { EnsureIndex(); }
+
   /// Union of element bounds.
   geometry::BoundingBox Bounds() const { return bounds_; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "geometry/clip.h"
 
 namespace piet::gis {
@@ -13,7 +14,9 @@ using geometry::Point;
 using geometry::Polygon;
 using geometry::Ring;
 
-Result<OverlayDb> OverlayDb::BuildConvex(std::vector<const Layer*> layers) {
+Result<OverlayDb> OverlayDb::BuildConvex(std::vector<const Layer*> layers,
+                                         int threads) {
+  threads = parallel::ResolveThreads(threads);
   OverlayDb db;
   db.layers_ = std::move(layers);
   db.convex_exact_ = true;
@@ -35,6 +38,9 @@ Result<OverlayDb> OverlayDb::BuildConvex(std::vector<const Layer*> layers) {
             "' is not convex; use BuildQuadtree");
       }
     }
+    // The refinement loop probes the layer R-tree from worker threads; its
+    // lazy first build must happen before the fan-out.
+    layer->WarmIndex();
     domain.ExtendWith(layer->Bounds());
   }
   if (db.layers_.empty() || domain.empty()) {
@@ -52,43 +58,74 @@ Result<OverlayDb> OverlayDb::BuildConvex(std::vector<const Layer*> layers) {
   }
 
   // Refine against each subsequent layer. Each layer must tile the current
-  // cells (partition semantics); the area check below enforces it.
+  // cells (partition semantics); the area check below enforces it. Cells
+  // are refined per chunk with private output buffers; merging in chunk
+  // order keeps the cell sequence identical to serial execution.
   for (size_t li = 1; li < db.layers_.size(); ++li) {
     const Layer* layer = db.layers_[li];
-    std::vector<Cell> next;
-    for (Cell& cell : db.cells_) {
-      double cell_area = cell.polygon.Area();
-      double covered_area = 0.0;
-      for (GeometryId id : layer->CandidatesInBox(cell.polygon.Bounds())) {
-        PIET_ASSIGN_OR_RETURN(const Polygon* pg, layer->GetPolygon(id));
-        std::optional<Ring> piece =
-            geometry::ClipRingToConvex(cell.polygon.shell(), pg->shell());
-        if (!piece) {
-          continue;
-        }
-        Cell sub;
-        sub.polygon = Polygon(std::move(*piece));
-        covered_area += sub.polygon.Area();
-        sub.covered = cell.covered;
-        sub.covered.push_back({li, id});
-        next.push_back(std::move(sub));
-      }
-      if (covered_area < cell_area * (1.0 - 1e-6)) {
-        return Status::InvalidArgument(
-            "layer '" + layer->name() +
-            "' does not tile an overlay cell (partition layers required); "
-            "use BuildQuadtree");
-      }
+    struct ChunkOut {
+      std::vector<Cell> next;
+      Status status = Status::OK();
+    };
+    std::vector<Cell> merged;
+    Status failed = Status::OK();
+    parallel::OrderedReduce<ChunkOut>(
+        threads, db.cells_.size(),
+        [&](size_t /*chunk*/, size_t begin, size_t end, ChunkOut* out) {
+          for (size_t ci = begin; ci < end; ++ci) {
+            Cell& cell = db.cells_[ci];
+            double cell_area = cell.polygon.Area();
+            double covered_area = 0.0;
+            for (GeometryId id :
+                 layer->CandidatesInBox(cell.polygon.Bounds())) {
+              auto pg = layer->GetPolygon(id);
+              if (!pg.ok()) {
+                out->status = pg.status();
+                return;
+              }
+              std::optional<Ring> piece = geometry::ClipRingToConvex(
+                  cell.polygon.shell(), pg.ValueOrDie()->shell());
+              if (!piece) {
+                continue;
+              }
+              Cell sub;
+              sub.polygon = Polygon(std::move(*piece));
+              covered_area += sub.polygon.Area();
+              sub.covered = cell.covered;
+              sub.covered.push_back({li, id});
+              out->next.push_back(std::move(sub));
+            }
+            if (covered_area < cell_area * (1.0 - 1e-6)) {
+              out->status = Status::InvalidArgument(
+                  "layer '" + layer->name() +
+                  "' does not tile an overlay cell (partition layers "
+                  "required); use BuildQuadtree");
+              return;
+            }
+          }
+        },
+        [&](ChunkOut&& out) {
+          if (failed.ok() && !out.status.ok()) {
+            failed = out.status;
+          }
+          for (Cell& cell : out.next) {
+            merged.push_back(std::move(cell));
+          }
+        });
+    if (!failed.ok()) {
+      return failed;
     }
-    db.cells_ = std::move(next);
+    db.cells_ = std::move(merged);
   }
 
+  db.ResolveCandidatePolygons();
   db.BuildCellIndex();
   return db;
 }
 
 Result<OverlayDb> OverlayDb::BuildQuadtree(std::vector<const Layer*> layers,
-                                           int max_depth) {
+                                           int max_depth, int threads) {
+  threads = parallel::ResolveThreads(threads);
   OverlayDb db;
   db.layers_ = std::move(layers);
   db.convex_exact_ = false;
@@ -112,7 +149,7 @@ Result<OverlayDb> OverlayDb::BuildQuadtree(std::vector<const Layer*> layers,
     BoundingBox box;
     std::vector<OverlayLabel> covered;
     std::vector<OverlayLabel> candidates;
-    int depth;
+    int depth = 0;
   };
 
   Work root;
@@ -124,62 +161,99 @@ Result<OverlayDb> OverlayDb::BuildQuadtree(std::vector<const Layer*> layers,
     }
   }
 
-  std::vector<Work> stack = {std::move(root)};
-  while (!stack.empty()) {
-    Work w = std::move(stack.back());
-    stack.pop_back();
+  // Level-synchronous refinement: every node of the current frontier runs
+  // the containment tests independently; heterogeneous nodes spawn their
+  // four children into the next frontier. Chunk boundaries depend only on
+  // the frontier size and per-chunk outputs merge in chunk order, so both
+  // the emitted cell sequence and the child order are thread-count
+  // independent.
+  std::vector<Work> frontier;
+  frontier.push_back(std::move(root));
+  while (!frontier.empty()) {
+    struct ChunkOut {
+      std::vector<Cell> cells;
+      std::vector<Work> children;
+    };
+    std::vector<Work> next_frontier;
+    parallel::OrderedReduce<ChunkOut>(
+        threads, frontier.size(),
+        [&](size_t /*chunk*/, size_t begin, size_t end, ChunkOut* out) {
+          for (size_t wi = begin; wi < end; ++wi) {
+            Work& w = frontier[wi];
+            Polygon rect = MakeRectangle(w.box.min_x, w.box.min_y,
+                                         w.box.max_x, w.box.max_y);
 
-    Polygon rect =
-        MakeRectangle(w.box.min_x, w.box.min_y, w.box.max_x, w.box.max_y);
+            std::vector<OverlayLabel> still;
+            for (const OverlayLabel& cand : w.candidates) {
+              auto pg = db.layers_[cand.layer]->GetPolygon(cand.geom);
+              if (!pg.ok()) {
+                continue;
+              }
+              const Polygon& poly = *pg.ValueOrDie();
+              if (!poly.Bounds().Intersects(w.box)) {
+                continue;
+              }
+              if (poly.ContainsPolygon(rect)) {
+                w.covered.push_back(cand);
+              } else if (poly.Intersects(rect)) {
+                still.push_back(cand);
+              }
+            }
+            w.candidates = std::move(still);
 
-    std::vector<OverlayLabel> still;
-    for (const OverlayLabel& cand : w.candidates) {
-      auto pg = db.layers_[cand.layer]->GetPolygon(cand.geom);
-      if (!pg.ok()) {
-        continue;
-      }
-      const Polygon& poly = *pg.ValueOrDie();
-      if (!poly.Bounds().Intersects(w.box)) {
-        continue;
-      }
-      if (poly.ContainsPolygon(rect)) {
-        w.covered.push_back(cand);
-      } else if (poly.Intersects(rect)) {
-        still.push_back(cand);
-      }
-    }
-    w.candidates = std::move(still);
+            if (!w.candidates.empty() && w.depth < max_depth) {
+              double mx = (w.box.min_x + w.box.max_x) / 2.0;
+              double my = (w.box.min_y + w.box.max_y) / 2.0;
+              BoundingBox quads[4] = {
+                  BoundingBox(w.box.min_x, w.box.min_y, mx, my),
+                  BoundingBox(mx, w.box.min_y, w.box.max_x, my),
+                  BoundingBox(w.box.min_x, my, mx, w.box.max_y),
+                  BoundingBox(mx, my, w.box.max_x, w.box.max_y),
+              };
+              for (const BoundingBox& q : quads) {
+                Work child;
+                child.box = q;
+                child.covered = w.covered;
+                child.candidates = w.candidates;
+                child.depth = w.depth + 1;
+                out->children.push_back(std::move(child));
+              }
+              continue;
+            }
 
-    if (!w.candidates.empty() && w.depth < max_depth) {
-      double mx = (w.box.min_x + w.box.max_x) / 2.0;
-      double my = (w.box.min_y + w.box.max_y) / 2.0;
-      BoundingBox quads[4] = {
-          BoundingBox(w.box.min_x, w.box.min_y, mx, my),
-          BoundingBox(mx, w.box.min_y, w.box.max_x, my),
-          BoundingBox(w.box.min_x, my, mx, w.box.max_y),
-          BoundingBox(mx, my, w.box.max_x, w.box.max_y),
-      };
-      for (const BoundingBox& q : quads) {
-        Work child;
-        child.box = q;
-        child.covered = w.covered;
-        child.candidates = w.candidates;
-        child.depth = w.depth + 1;
-        stack.push_back(std::move(child));
-      }
-      continue;
-    }
-
-    Cell cell;
-    cell.polygon =
-        MakeRectangle(w.box.min_x, w.box.min_y, w.box.max_x, w.box.max_y);
-    cell.covered = std::move(w.covered);
-    cell.candidates = std::move(w.candidates);
-    db.cells_.push_back(std::move(cell));
+            Cell cell;
+            cell.polygon = MakeRectangle(w.box.min_x, w.box.min_y,
+                                         w.box.max_x, w.box.max_y);
+            cell.covered = std::move(w.covered);
+            cell.candidates = std::move(w.candidates);
+            out->cells.push_back(std::move(cell));
+          }
+        },
+        [&](ChunkOut&& out) {
+          for (Cell& cell : out.cells) {
+            db.cells_.push_back(std::move(cell));
+          }
+          for (Work& child : out.children) {
+            next_frontier.push_back(std::move(child));
+          }
+        });
+    frontier = std::move(next_frontier);
   }
 
+  db.ResolveCandidatePolygons();
   db.BuildCellIndex();
   return db;
+}
+
+void OverlayDb::ResolveCandidatePolygons() {
+  for (Cell& cell : cells_) {
+    cell.candidate_polys.clear();
+    cell.candidate_polys.reserve(cell.candidates.size());
+    for (const OverlayLabel& cand : cell.candidates) {
+      auto pg = layers_[cand.layer]->GetPolygon(cand.geom);
+      cell.candidate_polys.push_back(pg.ok() ? pg.ValueOrDie() : nullptr);
+    }
+  }
 }
 
 void OverlayDb::BuildCellIndex() {
@@ -203,21 +277,21 @@ OverlayHit OverlayDb::Locate(Point p) const {
     return hit;
   }
   std::vector<OverlayLabel> labels;
-  for (index::GridIndex::Id raw : cell_index_->SearchPoint(p)) {
+  cell_index_->VisitPoint(p, [&](index::GridIndex::Id raw) {
     const Cell& cell = cells_[static_cast<size_t>(raw)];
     if (!cell.polygon.Contains(p)) {
-      continue;
+      return;
     }
     for (const OverlayLabel& label : cell.covered) {
       labels.push_back(label);
     }
-    for (const OverlayLabel& cand : cell.candidates) {
-      auto pg = layers_[cand.layer]->GetPolygon(cand.geom);
-      if (pg.ok() && pg.ValueOrDie()->Contains(p)) {
-        labels.push_back(cand);
+    for (size_t i = 0; i < cell.candidates.size(); ++i) {
+      const Polygon* pg = cell.candidate_polys[i];
+      if (pg != nullptr && pg->Contains(p)) {
+        labels.push_back(cell.candidates[i]);
       }
     }
-  }
+  });
   std::sort(labels.begin(), labels.end());
   labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
   for (const OverlayLabel& label : labels) {
@@ -248,13 +322,13 @@ void OverlayDb::LocateInLayerInto(Point p, size_t layer,
         out->push_back(label.geom);
       }
     }
-    for (const OverlayLabel& cand : cell.candidates) {
-      if (cand.layer != layer) {
+    for (size_t i = 0; i < cell.candidates.size(); ++i) {
+      if (cell.candidates[i].layer != layer) {
         continue;
       }
-      auto pg = layers_[cand.layer]->GetPolygon(cand.geom);
-      if (pg.ok() && pg.ValueOrDie()->Contains(p)) {
-        out->push_back(cand.geom);
+      const Polygon* pg = cell.candidate_polys[i];
+      if (pg != nullptr && pg->Contains(p)) {
+        out->push_back(cell.candidates[i].geom);
       }
     }
   });
@@ -264,6 +338,43 @@ void OverlayDb::LocateInLayerInto(Point p, size_t layer,
     std::sort(out->begin(), out->end());
     out->erase(std::unique(out->begin(), out->end()), out->end());
   }
+}
+
+BatchHits OverlayDb::LocateBatch(std::span<const Point> points, size_t layer,
+                                 int threads) const {
+  threads = parallel::ResolveThreads(threads);
+  BatchHits out;
+  out.offsets.reserve(points.size() + 1);
+  out.offsets.push_back(0);
+
+  // Per-chunk hits with chunk-local offsets; the ordered merge rebases
+  // them, so the flat result is independent of the thread count.
+  struct ChunkOut {
+    std::vector<uint32_t> counts;
+    std::vector<GeometryId> ids;
+  };
+  parallel::OrderedReduce<ChunkOut>(
+      threads, points.size(),
+      [&](size_t /*chunk*/, size_t begin, size_t end, ChunkOut* chunk_out) {
+        chunk_out->counts.reserve(end - begin);
+        std::vector<GeometryId> hits;  // One scratch buffer per chunk.
+        for (size_t i = begin; i < end; ++i) {
+          LocateInLayerInto(points[i], layer, &hits);
+          chunk_out->counts.push_back(static_cast<uint32_t>(hits.size()));
+          chunk_out->ids.insert(chunk_out->ids.end(), hits.begin(),
+                                hits.end());
+        }
+      },
+      [&](ChunkOut&& chunk_out) {
+        uint32_t base = out.offsets.back();
+        for (uint32_t count : chunk_out.counts) {
+          base += count;
+          out.offsets.push_back(base);
+        }
+        out.ids.insert(out.ids.end(), chunk_out.ids.begin(),
+                       chunk_out.ids.end());
+      });
+  return out;
 }
 
 }  // namespace piet::gis

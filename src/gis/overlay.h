@@ -1,9 +1,11 @@
 #ifndef PIET_GIS_OVERLAY_H_
 #define PIET_GIS_OVERLAY_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -35,6 +37,14 @@ struct OverlayHit {
   std::vector<std::vector<GeometryId>> per_layer;
 };
 
+/// Flat result of a batched single-layer point location: the containing ids
+/// of point `i` are `ids[offsets[i] .. offsets[i+1])`. Offsets always has
+/// one entry more than the number of points located.
+struct BatchHits {
+  std::vector<uint32_t> offsets;
+  std::vector<GeometryId> ids;
+};
+
 /// The Piet overlay precomputation of Sec. 5: a subdivision of the plane
 /// into *subpolygons* (cells), each labeled with every layer geometry that
 /// fully covers it. Point location against the overlay then answers, in one
@@ -55,11 +65,15 @@ class OverlayDb {
  public:
   /// Builds the exact convex overlay. Fails if a polygon is non-convex or a
   /// layer is not a polygon layer. Layers must outlive the OverlayDb.
-  static Result<OverlayDb> BuildConvex(std::vector<const Layer*> layers);
+  /// `threads` <= 0 resolves through PIET_THREADS (parallel::ResolveThreads);
+  /// the produced overlay is identical for every thread count.
+  static Result<OverlayDb> BuildConvex(std::vector<const Layer*> layers,
+                                       int threads = 0);
 
   /// Builds the adaptive quadtree overlay (works for any simple polygons).
+  /// Same `threads` contract as BuildConvex.
   static Result<OverlayDb> BuildQuadtree(std::vector<const Layer*> layers,
-                                         int max_depth = 10);
+                                         int max_depth = 10, int threads = 0);
 
   /// For point `p`, the containing geometry ids for every layer (index
   /// aligned with the layer list given at construction).
@@ -69,11 +83,21 @@ class OverlayDb {
   std::vector<GeometryId> LocateInLayer(geometry::Point p, size_t layer) const;
 
   /// Allocation-free single-layer point location: appends the containing
-  /// ids of `layer` to `out` (cleared first). The hot path of the Sec. 5
-  /// strategy — one grid probe plus exact tests on the few candidate
-  /// cells.
+  /// ids of `layer` to `out` (cleared first; its capacity is reused
+  /// end-to-end, and the candidate-probe loop tests pre-resolved polygon
+  /// pointers — no per-call allocation anywhere). The hot path of the
+  /// Sec. 5 strategy — one grid probe plus exact tests on the few
+  /// candidate cells, and the unit of work LocateBatch fans out.
   void LocateInLayerInto(geometry::Point p, size_t layer,
                          std::vector<GeometryId>* out) const;
+
+  /// Batched single-layer point location across the thread pool: one
+  /// LocateInLayerInto per point, with one scratch buffer per chunk reused
+  /// end-to-end. Output is bit-identical for every thread count (per-chunk
+  /// results are merged in chunk order). `threads` <= 0 resolves through
+  /// PIET_THREADS.
+  BatchHits LocateBatch(std::span<const geometry::Point> points, size_t layer,
+                        int threads = 0) const;
 
   size_t num_layers() const { return layers_.size(); }
   /// Number of overlay cells (convex) or leaves (quadtree).
@@ -104,11 +128,15 @@ class OverlayDb {
     geometry::Polygon polygon;
     std::vector<OverlayLabel> covered;     // Definitely covering labels.
     std::vector<OverlayLabel> candidates;  // Need exact test at query time.
+    // Pre-resolved polygon of each candidate (aligned with `candidates`),
+    // so the query-time probe loop never goes through the layer lookup.
+    std::vector<const geometry::Polygon*> candidate_polys;
   };
 
   OverlayDb() = default;
 
   void BuildCellIndex();
+  void ResolveCandidatePolygons();
 
   std::vector<const Layer*> layers_;
   std::vector<Cell> cells_;
