@@ -35,7 +35,7 @@ using piet::workload::TrajectoryConfig;
 
 struct Dataset {
   City city;
-  std::vector<Sample> samples;
+  Moft moft;  // Owns the columns the scans below view.
   std::vector<BoundingBox> region_boxes;
   std::unique_ptr<AggregateRTree> tree;
 };
@@ -54,9 +54,8 @@ std::shared_ptr<Dataset> MakeDataset(int objects, double bucket_width) {
   traj.duration = 4 * 3600.0;
   traj.sample_period = 30.0;
   traj.speed = 15.0;
-  Moft moft =
+  data->moft =
       piet::workload::GenerateTrajectories(data->city, traj).ValueOrDie();
-  data->samples = moft.AllSamples();
 
   // Regions = neighborhoods (by bounding box, the aRB-tree granularity).
   auto layer = data->city.db->gis()
@@ -70,7 +69,7 @@ std::shared_ptr<Dataset> MakeDataset(int objects, double bucket_width) {
   }
   data->tree = std::make_unique<AggregateRTree>(regions, bucket_width);
   // Each sample contributes an observation to every region containing it.
-  for (const Sample& s : data->samples) {
+  for (const Sample& s : data->moft.Scan()) {
     for (auto id : layer->GeometriesContaining(s.pos)) {
       (void)data->tree->AddObservation(id, s.t);
     }
@@ -84,7 +83,7 @@ double ExactCount(const Dataset& data, const BoundingBox& window,
                    .GetLayer(data.city.neighborhoods_layer)
                    .ValueOrDie();
   double count = 0;
-  for (const Sample& s : data.samples) {
+  for (const Sample& s : data.moft.Scan()) {
     if (s.t < interval.begin || interval.end < s.t || s.t == interval.end) {
       continue;
     }
@@ -139,7 +138,7 @@ void BM_ExactScan(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(ExactCount(*data, window, interval));
   }
-  state.counters["observations"] = static_cast<double>(data->samples.size());
+  state.counters["observations"] = static_cast<double>(data->moft.num_samples());
 }
 
 void BM_AggRTreeCount(benchmark::State& state) {
@@ -149,7 +148,7 @@ void BM_AggRTreeCount(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(data->tree->Count(window, interval));
   }
-  state.counters["observations"] = static_cast<double>(data->samples.size());
+  state.counters["observations"] = static_cast<double>(data->moft.num_samples());
   state.counters["nodes"] =
       static_cast<double>(data->tree->last_nodes_visited());
 }

@@ -1,0 +1,179 @@
+// E10 — columnar MOFT scan throughput.
+//
+// The sealed column store replaces the AoS row map; every query hot path
+// now iterates zero-copy views over the (oid, t)-sorted columns. This
+// bench measures the raw storage layer in rows/sec:
+//  * full-table scan: SampleView vs the AllSamples() copy the old row
+//    path materialized before iterating;
+//  * closed time window: SamplesBetween's binary-searched per-object
+//    ranges vs copy-then-filter over all rows;
+//  * per-object access: span lookup in the sorted spans index.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "moving/moft.h"
+#include "temporal/time_point.h"
+#include "workload/city.h"
+#include "workload/trajectories.h"
+
+namespace {
+
+using piet::moving::Moft;
+using piet::moving::MoftColumns;
+using piet::moving::ObjectSpan;
+using piet::moving::Sample;
+using piet::moving::SampleView;
+using piet::moving::SampleWindow;
+using piet::temporal::TimePoint;
+using piet::workload::CityConfig;
+using piet::workload::TrajectoryConfig;
+
+constexpr double kDuration = 4 * 3600.0;
+
+std::shared_ptr<Moft> MakeMoft(int objects) {
+  CityConfig config;
+  config.seed = 2026;
+  config.grid_cols = 10;
+  config.grid_rows = 10;
+  auto city = piet::workload::GenerateCity(config).ValueOrDie();
+
+  TrajectoryConfig traj;
+  traj.seed = 8;
+  traj.num_objects = objects;
+  traj.duration = kDuration;
+  traj.sample_period = 15.0;
+  traj.speed = 12.0;
+  auto moft = std::make_shared<Moft>(
+      piet::workload::GenerateTrajectories(city, traj).ValueOrDie());
+  (void)moft->Scan();  // Seal outside the timed region.
+  return moft;
+}
+
+// Representative read: consume every coordinate of every visited row.
+double Consume(const Sample& s) { return s.pos.x + s.pos.y + s.t.seconds; }
+
+void BM_ScanView(benchmark::State& state) {
+  auto moft = MakeMoft(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const Sample& s : moft->Scan()) {
+      acc += Consume(s);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * moft->num_samples());
+  state.counters["rows"] = static_cast<double>(moft->num_samples());
+}
+
+void BM_ScanColumns(benchmark::State& state) {
+  // Direct column iteration — the layout's best case (what the engine's
+  // window fast path and classification pass do).
+  auto moft = MakeMoft(static_cast<int>(state.range(0)));
+  const MoftColumns& cols = moft->Columns();
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      acc += cols.x[i] + cols.y[i] + cols.t[i];
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * cols.size());
+  state.counters["rows"] = static_cast<double>(cols.size());
+}
+
+void BM_ScanAllSamplesCopy(benchmark::State& state) {
+  // The pre-refactor pattern: materialize a row vector, then iterate.
+  auto moft = MakeMoft(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const Sample& s : moft->AllSamples()) {
+      acc += Consume(s);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * moft->num_samples());
+  state.counters["rows"] = static_cast<double>(moft->num_samples());
+}
+
+void BM_WindowView(benchmark::State& state) {
+  auto moft = MakeMoft(static_cast<int>(state.range(0)));
+  const TimePoint t0(kDuration * 0.25);
+  const TimePoint t1(kDuration * 0.5);
+  size_t rows = 0;
+  for (auto _ : state) {
+    double acc = 0.0;
+    SampleWindow window = moft->SamplesBetween(t0, t1);
+    rows = window.size();
+    for (const Sample& s : window) {
+      acc += Consume(s);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_WindowCopyFilter(benchmark::State& state) {
+  // The pre-refactor pattern: copy every row, filter by the predicate.
+  auto moft = MakeMoft(static_cast<int>(state.range(0)));
+  const TimePoint t0(kDuration * 0.25);
+  const TimePoint t1(kDuration * 0.5);
+  size_t rows = 0;
+  for (auto _ : state) {
+    double acc = 0.0;
+    rows = 0;
+    for (const Sample& s : moft->AllSamples()) {
+      if (s.t < t0 || t1 < s.t) {
+        continue;
+      }
+      acc += Consume(s);
+      ++rows;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_ObjectSpans(benchmark::State& state) {
+  // Per-object fan-out: every trajectory query's outer loop.
+  auto moft = MakeMoft(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (size_t i = 0; i < moft->num_objects(); ++i) {
+      ObjectSpan span = moft->SpanAt(i);
+      for (const Sample& s : span) {
+        acc += Consume(s);
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * moft->num_samples());
+  state.counters["rows"] = static_cast<double>(moft->num_samples());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int objects : {50, 200, 800}) {
+    benchmark::RegisterBenchmark("BM_ScanView", BM_ScanView)->Arg(objects);
+    benchmark::RegisterBenchmark("BM_ScanColumns", BM_ScanColumns)
+        ->Arg(objects);
+    benchmark::RegisterBenchmark("BM_ScanAllSamplesCopy",
+                                 BM_ScanAllSamplesCopy)
+        ->Arg(objects);
+    benchmark::RegisterBenchmark("BM_WindowView", BM_WindowView)
+        ->Arg(objects);
+    benchmark::RegisterBenchmark("BM_WindowCopyFilter", BM_WindowCopyFilter)
+        ->Arg(objects);
+    benchmark::RegisterBenchmark("BM_ObjectSpans", BM_ObjectSpans)
+        ->Arg(objects);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

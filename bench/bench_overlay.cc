@@ -170,11 +170,12 @@ void BM_LocateBatch(benchmark::State& state) {
   int threads = static_cast<int>(state.range(1));
   auto city = MakeCity(grid, 200, true);
   const piet::gis::OverlayDb* ov = city->db->overlay().ValueOrDie();
-  auto samples = city->db->GetMoft("cars").ValueOrDie()->AllSamples();
+  const piet::moving::MoftColumns& cols =
+      city->db->GetMoft("cars").ValueOrDie()->Columns();
   std::vector<piet::geometry::Point> points;
-  points.reserve(samples.size());
-  for (const auto& s : samples) {
-    points.push_back(s.pos);
+  points.reserve(cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    points.emplace_back(cols.x[i], cols.y[i]);
   }
   for (auto _ : state) {
     auto hits = ov->LocateBatch(points, 0, threads);

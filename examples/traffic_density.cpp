@@ -100,7 +100,7 @@ int main() {
     regions.emplace_back(id, layer.ValueOrDie()->BoundsOf(id).ValueOrDie());
   }
   piet::index::AggregateRTree tree(regions, /*bucket_width=*/300.0);
-  for (const auto& sample : moft_copy.AllSamples()) {
+  for (const auto& sample : moft_copy.Scan()) {
     for (auto id : layer.ValueOrDie()->GeometriesContaining(sample.pos)) {
       (void)tree.AddObservation(id, sample.t);
     }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Runs the E2/E3 benchmark suites (Release build) and writes JSON baselines
-# at the repo root: BENCH_overlay.json and BENCH_query_types.json. The
+# Runs the E2/E3/E10 benchmark suites (Release build) and writes JSON
+# baselines at the repo root: BENCH_overlay.json, BENCH_query_types.json,
+# and BENCH_moft_scan.json (columnar scan throughput in rows/sec). The
 # benches sweep a `threads` axis (1 vs 4 via Engine/Database num_threads),
 # so the baselines carry the serial-vs-parallel comparison; counters record
 # problem size (polygons, samples, points) alongside.
@@ -20,7 +21,7 @@ cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 
 echo "== build benches =="
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-  --target bench_overlay bench_query_types
+  --target bench_overlay bench_query_types bench_moft_scan
 
 extra_args=()
 if [[ -n "${FILTER:-}" ]]; then
@@ -43,4 +44,12 @@ echo "== bench_query_types -> BENCH_query_types.json =="
   --benchmark_format=console \
   "${extra_args[@]}" "$@"
 
-echo "== baselines written: BENCH_overlay.json BENCH_query_types.json =="
+echo "== bench_moft_scan -> BENCH_moft_scan.json =="
+"${BUILD_DIR}/bench/bench_moft_scan" \
+  --benchmark_out=BENCH_moft_scan.json \
+  --benchmark_out_format=json \
+  --benchmark_format=console \
+  "${extra_args[@]}" "$@"
+
+echo "== baselines written: BENCH_overlay.json BENCH_query_types.json" \
+     "BENCH_moft_scan.json =="

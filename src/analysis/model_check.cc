@@ -260,9 +260,13 @@ void ModelChecker::CheckInstance(const gis::GisDimensionInstance& instance,
   }
 }
 
-void ModelChecker::CheckSamples(const std::string& entity,
-                                const std::vector<moving::Sample>& samples,
-                                DiagnosticList* out) const {
+namespace {
+
+/// Shared body of the two CheckSamples overloads; `samples` is any range of
+/// moving::Sample (owning vector or zero-copy SampleView).
+template <typename SampleRange>
+void CheckSampleStream(const SampleRange& samples, const std::string& entity,
+                       DiagnosticList* out) {
   std::map<moving::ObjectId, temporal::TimePoint> last_t;
   for (const moving::Sample& s : samples) {
     std::string sample_entity =
@@ -292,19 +296,35 @@ void ModelChecker::CheckSamples(const std::string& entity,
   }
 }
 
+}  // namespace
+
+void ModelChecker::CheckSamples(const std::string& entity,
+                                const std::vector<moving::Sample>& samples,
+                                DiagnosticList* out) const {
+  CheckSampleStream(samples, entity, out);
+}
+
+void ModelChecker::CheckSamples(const std::string& entity,
+                                moving::SampleView samples,
+                                DiagnosticList* out) const {
+  CheckSampleStream(samples, entity, out);
+}
+
 void ModelChecker::CheckMoft(const std::string& name,
                              const moving::Moft& moft,
                              DiagnosticList* out) const {
   std::string entity = "moft '" + name + "'";
-  CheckSamples(entity, moft.AllSamples(), out);
-  for (moving::ObjectId oid : moft.ObjectIds()) {
+  CheckSamples(entity, moft.Scan(), out);
+  const size_t objects = moft.num_objects();
+  for (size_t i = 0; i < objects; ++i) {
+    moving::ObjectSpan span = moft.SpanAt(i);
     std::vector<moving::TimedPoint> points;
-    const std::vector<moving::Sample>& samples = moft.SamplesOf(oid);
-    points.reserve(samples.size());
-    for (const moving::Sample& s : samples) {
+    points.reserve(span.size());
+    for (const moving::Sample& s : span) {
       points.push_back({s.t, s.pos});
     }
-    CheckTrajectory(entity + " oid " + std::to_string(oid), points, out);
+    CheckTrajectory(entity + " oid " + std::to_string(span.oid()), points,
+                    out);
   }
 }
 

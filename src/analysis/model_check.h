@@ -93,6 +93,11 @@ class ModelChecker {
                     const std::vector<moving::Sample>& samples,
                     DiagnosticList* out) const;
 
+  /// Same checks over a zero-copy columnar scan view — the form the
+  /// database load paths use; no materialization of the fact table.
+  void CheckSamples(const std::string& entity, moving::SampleView samples,
+                    DiagnosticList* out) const;
+
   /// CheckSamples over a registered MOFT plus per-object trajectory checks.
   void CheckMoft(const std::string& name, const moving::Moft& moft,
                  DiagnosticList* out) const;

@@ -198,11 +198,12 @@ GeoOlapDatabase::ClassifySamples(const std::string& moft_name,
   PIET_ASSIGN_OR_RETURN(size_t layer_idx, OverlayLayerIndex(layer_name));
 
   auto classification = std::make_shared<SampleClassification>();
-  classification->samples = moft->AllSamples();
+  classification->samples = moft->Scan();
+  const moving::MoftColumns& cols = *classification->samples.columns();
   std::vector<geometry::Point> points;
-  points.reserve(classification->samples.size());
-  for (const moving::Sample& s : classification->samples) {
-    points.push_back(s.pos);
+  points.reserve(cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    points.emplace_back(cols.x[i], cols.y[i]);
   }
   classification->hits = ov->LocateBatch(points, layer_idx, num_threads_);
 

@@ -21,12 +21,15 @@
 namespace piet::core {
 
 /// The cached result of classifying every sample of one MOFT against one
-/// overlay layer: `samples` is the MOFT in Moft::AllSamples() order (by
-/// (Oid, t)) and `hits` holds, per sample, the containing geometry ids of
-/// the layer. Predicate- and time-independent, so one classification
-/// serves every query over the same (MOFT, overlay) pair.
+/// overlay layer: `samples` is a zero-copy view of the MOFT's sealed
+/// columns in (Oid, t) scan order, and `hits` holds, per column index, the
+/// containing geometry ids of the layer (hits.offsets[i] aligns with
+/// samples[i]). Predicate- and time-independent, so one classification
+/// serves every query over the same (MOFT, overlay) pair; the cache is
+/// dropped whenever the MOFT set or overlay changes, so the view can never
+/// outlive the columns it borrows.
 struct SampleClassification {
-  std::vector<moving::Sample> samples;
+  moving::SampleView samples;
   gis::BatchHits hits;
   /// The overlay epoch this classification was computed at (diagnostics;
   /// cached entries are dropped eagerly on invalidation).

@@ -14,8 +14,11 @@ using gis::GeometryId;
 using gis::Layer;
 using moving::LinearTrajectory;
 using moving::Moft;
+using moving::MoftColumns;
 using moving::ObjectId;
+using moving::ObjectSpan;
 using moving::Sample;
+using moving::SampleView;
 using moving::TrajectorySample;
 using olap::FactTable;
 using olap::Row;
@@ -130,14 +133,40 @@ Result<olap::FactTable> QueryEngine::SamplesMatchingTime(
     const std::string& moft_name, const TimePredicate& when) const {
   stats_ = EngineStats{};
   PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
-  const std::vector<Sample> samples = moft->AllSamples();
   FactTable out = FactTable::Make({"Oid", "t", "x", "y"}, {});
+
+  if (when.window_only()) {
+    // Pure time-window predicate: binary search on the sorted time column
+    // instead of probing every row. The matching rows come back as
+    // per-object column ranges already in (oid, t) order, so fanning out
+    // over ranges reproduces the serial row order exactly.
+    const temporal::Interval& w = *when.window();
+    const moving::SampleWindow window = moft->SamplesBetween(w.begin, w.end);
+    const std::vector<moving::SampleWindow::Range>& ranges = window.ranges();
+    const MoftColumns& cols = *window.columns();
+    PIET_RETURN_NOT_OK(ParallelAppend(
+        parallel::ResolveThreads(num_threads_), ranges.size(), &out, &stats_,
+        [&](size_t begin, size_t end, std::vector<Row>* rows,
+            EngineStats* stats) -> Status {
+          for (size_t r = begin; r < end; ++r) {
+            for (size_t i = ranges[r].begin; i < ranges[r].end; ++i) {
+              ++stats->samples_scanned;
+              rows->push_back({Value(cols.oid[i]), Value(cols.t[i]),
+                               Value(cols.x[i]), Value(cols.y[i])});
+            }
+          }
+          return Status::OK();
+        }));
+    return out;
+  }
+
+  const SampleView samples = moft->Scan();
   PIET_RETURN_NOT_OK(ParallelAppend(
       parallel::ResolveThreads(num_threads_), samples.size(), &out, &stats_,
       [&](size_t begin, size_t end, std::vector<Row>* rows,
           EngineStats* stats) -> Status {
         for (size_t i = begin; i < end; ++i) {
-          const Sample& s = samples[i];
+          const Sample s = samples[i];
           ++stats->samples_scanned;
           if (!when.Matches(db_->time_dimension(), s.t)) {
             continue;
@@ -238,14 +267,14 @@ Result<FactTable> QueryEngine::SampleRegion(const std::string& moft_name,
     PIET_ASSIGN_OR_RETURN(
         std::shared_ptr<const SampleClassification> cls,
         db_->ClassifySamples(moft_name, layer_name));
-    const std::vector<Sample>& samples = cls->samples;
+    const SampleView samples = cls->samples;
     const gis::BatchHits& hits = cls->hits;
     PIET_RETURN_NOT_OK(ParallelAppend(
         threads, samples.size(), &out, &stats_,
         [&](size_t begin, size_t end, std::vector<Row>* rows,
             EngineStats* stats) -> Status {
           for (size_t i = begin; i < end; ++i) {
-            const Sample& s = samples[i];
+            const Sample s = samples[i];
             ++stats->samples_scanned;
             if (!when.Matches(db_->time_dimension(), s.t)) {
               continue;
@@ -264,14 +293,14 @@ Result<FactTable> QueryEngine::SampleRegion(const std::string& moft_name,
     return out;
   }
 
-  const std::vector<Sample> samples = moft->AllSamples();
+  const SampleView samples = moft->Scan();
   PIET_RETURN_NOT_OK(ParallelAppend(
       threads, samples.size(), &out, &stats_,
       [&](size_t begin, size_t end, std::vector<Row>* rows,
           EngineStats* stats) -> Status {
         std::vector<GeometryId> hits;  // Chunk-local scratch.
         for (size_t i = begin; i < end; ++i) {
-          const Sample& s = samples[i];
+          const Sample s = samples[i];
           ++stats->samples_scanned;
           if (!when.Matches(db_->time_dimension(), s.t)) {
             continue;
@@ -297,14 +326,14 @@ Result<FactTable> QueryEngine::SamplesOnPolylines(
     return Status::InvalidArgument("SamplesOnPolylines needs a line layer");
   }
   layer->WarmIndex();
-  const std::vector<Sample> samples = moft->AllSamples();
+  const SampleView samples = moft->Scan();
   FactTable out = FactTable::Make({"Oid", "t", "geom"}, {});
   PIET_RETURN_NOT_OK(ParallelAppend(
       parallel::ResolveThreads(num_threads_), samples.size(), &out, &stats_,
       [&](size_t begin, size_t end, std::vector<Row>* rows,
           EngineStats* stats) -> Status {
         for (size_t i = begin; i < end; ++i) {
-          const Sample& s = samples[i];
+          const Sample s = samples[i];
           ++stats->samples_scanned;
           if (!when.Matches(db_->time_dimension(), s.t)) {
             continue;
@@ -340,14 +369,14 @@ Result<FactTable> QueryEngine::SamplesNearNodes(
     return Status::InvalidArgument("SamplesNearNodes needs a node layer");
   }
   layer->WarmIndex();
-  const std::vector<Sample> samples = moft->AllSamples();
+  const SampleView samples = moft->Scan();
   FactTable out = FactTable::Make({"Oid", "t", "node"}, {});
   PIET_RETURN_NOT_OK(ParallelAppend(
       parallel::ResolveThreads(num_threads_), samples.size(), &out, &stats_,
       [&](size_t begin, size_t end, std::vector<Row>* rows,
           EngineStats* stats) -> Status {
         for (size_t i = begin; i < end; ++i) {
-          const Sample& s = samples[i];
+          const Sample s = samples[i];
           ++stats->samples_scanned;
           if (!when.Matches(db_->time_dimension(), s.t)) {
             continue;
@@ -380,17 +409,19 @@ Result<FactTable> QueryEngine::SnapshotInRegion(const std::string& moft_name,
   PIET_ASSIGN_OR_RETURN(std::vector<GeometryId> qualifying,
                         QualifyingGeometries(layer_name, pred));
   const ResolvedPolygons wanted = ResolvePolygons(*layer, qualifying);
-  const std::vector<ObjectId> oids = moft->ObjectIds();
+  const MoftColumns& cols = moft->Columns();
 
   FactTable out = FactTable::Make({"Oid", "x", "y", "geom"}, {});
   PIET_RETURN_NOT_OK(ParallelAppend(
-      parallel::ResolveThreads(num_threads_), oids.size(), &out, &stats_,
+      parallel::ResolveThreads(num_threads_), cols.spans.size(), &out,
+      &stats_,
       [&](size_t begin, size_t end, std::vector<Row>* rows,
           EngineStats* stats) -> Status {
         for (size_t i = begin; i < end; ++i) {
-          ObjectId oid = oids[i];
+          const ObjectSpan span(&cols, cols.spans[i]);
+          ObjectId oid = span.oid();
           PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
-                                TrajectorySample::FromMoft(*moft, oid));
+                                TrajectorySample::FromSpan(span));
           PIET_ASSIGN_OR_RETURN(
               LinearTrajectory traj,
               LinearTrajectory::FromSample(std::move(sample)));
@@ -425,17 +456,19 @@ Result<FactTable> QueryEngine::TrajectoryRegion(const std::string& moft_name,
   PIET_ASSIGN_OR_RETURN(std::vector<GeometryId> qualifying,
                         QualifyingGeometries(layer_name, pred));
   const ResolvedPolygons wanted = ResolvePolygons(*layer, qualifying);
-  const std::vector<ObjectId> oids = moft->ObjectIds();
+  const MoftColumns& cols = moft->Columns();
 
   FactTable out = FactTable::Make({"Oid", "geom", "enter", "leave"}, {});
   PIET_RETURN_NOT_OK(ParallelAppend(
-      parallel::ResolveThreads(num_threads_), oids.size(), &out, &stats_,
+      parallel::ResolveThreads(num_threads_), cols.spans.size(), &out,
+      &stats_,
       [&](size_t begin, size_t end, std::vector<Row>* rows,
           EngineStats* stats) -> Status {
         for (size_t i = begin; i < end; ++i) {
-          ObjectId oid = oids[i];
+          const ObjectSpan span(&cols, cols.spans[i]);
+          ObjectId oid = span.oid();
           PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
-                                TrajectorySample::FromMoft(*moft, oid));
+                                TrajectorySample::FromSpan(span));
           PIET_ASSIGN_OR_RETURN(
               LinearTrajectory traj,
               LinearTrajectory::FromSample(std::move(sample)));
@@ -474,17 +507,19 @@ Result<FactTable> QueryEngine::TrajectoryNearNodes(
     return Status::InvalidArgument("TrajectoryNearNodes needs a node layer");
   }
   layer->WarmIndex();
-  const std::vector<ObjectId> oids = moft->ObjectIds();
+  const MoftColumns& cols = moft->Columns();
 
   FactTable out = FactTable::Make({"Oid", "node", "enter", "leave"}, {});
   PIET_RETURN_NOT_OK(ParallelAppend(
-      parallel::ResolveThreads(num_threads_), oids.size(), &out, &stats_,
+      parallel::ResolveThreads(num_threads_), cols.spans.size(), &out,
+      &stats_,
       [&](size_t begin, size_t end, std::vector<Row>* rows,
           EngineStats* stats) -> Status {
         for (size_t i = begin; i < end; ++i) {
-          ObjectId oid = oids[i];
+          const ObjectSpan span(&cols, cols.spans[i]);
+          ObjectId oid = span.oid();
           PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
-                                TrajectorySample::FromMoft(*moft, oid));
+                                TrajectorySample::FromSpan(span));
           PIET_ASSIGN_OR_RETURN(
               LinearTrajectory traj,
               LinearTrajectory::FromSample(std::move(sample)));
@@ -537,18 +572,20 @@ Result<FactTable> QueryEngine::TrajectoryAggregates(
   PIET_ASSIGN_OR_RETURN(std::vector<GeometryId> qualifying,
                         QualifyingGeometries(layer_name, pred));
   const ResolvedPolygons wanted = ResolvePolygons(*layer, qualifying);
-  const std::vector<ObjectId> oids = moft->ObjectIds();
+  const MoftColumns& cols = moft->Columns();
 
   FactTable out = FactTable::Make({"Oid", "geom"},
                                   {"distance", "seconds", "visits"});
   PIET_RETURN_NOT_OK(ParallelAppend(
-      parallel::ResolveThreads(num_threads_), oids.size(), &out, &stats_,
+      parallel::ResolveThreads(num_threads_), cols.spans.size(), &out,
+      &stats_,
       [&](size_t begin, size_t end, std::vector<Row>* rows,
           EngineStats* stats) -> Status {
         for (size_t i = begin; i < end; ++i) {
-          ObjectId oid = oids[i];
+          const ObjectSpan span(&cols, cols.spans[i]);
+          ObjectId oid = span.oid();
           PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
-                                TrajectorySample::FromMoft(*moft, oid));
+                                TrajectorySample::FromSpan(span));
           PIET_ASSIGN_OR_RETURN(
               LinearTrajectory traj,
               LinearTrajectory::FromSample(std::move(sample)));
@@ -585,7 +622,7 @@ Result<std::vector<ObjectId>> QueryEngine::ObjectsPossiblyWithin(
   PIET_ASSIGN_OR_RETURN(std::vector<GeometryId> qualifying,
                         QualifyingGeometries(layer_name, pred));
   const ResolvedPolygons wanted = ResolvePolygons(*layer, qualifying);
-  const std::vector<ObjectId> oids = moft->ObjectIds();
+  const MoftColumns& cols = moft->Columns();
 
   struct IdChunk {
     std::vector<ObjectId> out;
@@ -595,13 +632,14 @@ Result<std::vector<ObjectId>> QueryEngine::ObjectsPossiblyWithin(
   std::vector<ObjectId> out;
   Status failed;
   parallel::OrderedReduce<IdChunk>(
-      parallel::ResolveThreads(num_threads_), oids.size(),
+      parallel::ResolveThreads(num_threads_), cols.spans.size(),
       [&](size_t /*chunk*/, size_t begin, size_t end, IdChunk* chunk) {
         chunk->status = [&]() -> Status {
           for (size_t i = begin; i < end; ++i) {
-            ObjectId oid = oids[i];
+            const ObjectSpan span(&cols, cols.spans[i]);
+            ObjectId oid = span.oid();
             PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
-                                  TrajectorySample::FromMoft(*moft, oid));
+                                  TrajectorySample::FromSpan(span));
             chunk->stats.legs_tested +=
                 sample.size() > 0 ? sample.size() - 1 : 0;
             bool possible = false;
@@ -645,7 +683,7 @@ Result<std::vector<ObjectId>> QueryEngine::ObjectsAlwaysWithin(
   PIET_ASSIGN_OR_RETURN(std::vector<GeometryId> qualifying,
                         QualifyingGeometries(layer_name, pred));
   const ResolvedPolygons wanted = ResolvePolygons(*layer, qualifying);
-  const std::vector<ObjectId> oids = moft->ObjectIds();
+  const MoftColumns& cols = moft->Columns();
 
   struct IdChunk {
     std::vector<ObjectId> out;
@@ -655,16 +693,17 @@ Result<std::vector<ObjectId>> QueryEngine::ObjectsAlwaysWithin(
   std::vector<ObjectId> out;
   Status failed;
   parallel::OrderedReduce<IdChunk>(
-      parallel::ResolveThreads(num_threads_), oids.size(),
+      parallel::ResolveThreads(num_threads_), cols.spans.size(),
       [&](size_t /*chunk*/, size_t begin, size_t end, IdChunk* chunk) {
         chunk->status = [&]() -> Status {
           for (size_t i = begin; i < end; ++i) {
-            ObjectId oid = oids[i];
+            const ObjectSpan span(&cols, cols.spans[i]);
+            ObjectId oid = span.oid();
             bool ok = true;
             bool any = false;
             if (trajectory_semantics) {
               PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
-                                    TrajectorySample::FromMoft(*moft, oid));
+                                    TrajectorySample::FromSpan(span));
               PIET_ASSIGN_OR_RETURN(
                   LinearTrajectory traj,
                   LinearTrajectory::FromSample(std::move(sample)));
@@ -689,7 +728,7 @@ Result<std::vector<ObjectId>> QueryEngine::ObjectsAlwaysWithin(
               ok = covered.TotalLength() >= required.TotalLength() - 1e-9 &&
                    covered.size() == required.size();
             } else {
-              for (const Sample& s : moft->SamplesOf(oid)) {
+              for (const Sample& s : span) {
                 ++chunk->stats.samples_scanned;
                 if (!when.Matches(db_->time_dimension(), s.t)) {
                   continue;

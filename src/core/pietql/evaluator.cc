@@ -339,15 +339,16 @@ Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
     // object's LinearTrajectory construction + InsideIntervals runs on
     // the pool.
     const WantedPolygons wanted = ResolveWanted(*layer, result.geometry_ids);
-    const std::vector<ObjectId> oids = moft->ObjectIds();
+    const moving::MoftColumns& cols = moft->Columns();
     parallel::OrderedReduce<TupleChunk>(
-        threads, oids.size(),
+        threads, cols.spans.size(),
         [&](size_t /*chunk*/, size_t begin, size_t end, TupleChunk* chunk) {
           chunk->status = [&]() -> Status {
             for (size_t i = begin; i < end; ++i) {
-              ObjectId oid = oids[i];
+              const moving::ObjectSpan span(&cols, cols.spans[i]);
+              ObjectId oid = span.oid();
               PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
-                                    TrajectorySample::FromMoft(*moft, oid));
+                                    TrajectorySample::FromSpan(span));
               PIET_ASSIGN_OR_RETURN(
                   LinearTrajectory traj,
                   LinearTrajectory::FromSample(std::move(sample)));
@@ -387,12 +388,12 @@ Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
     }
     nodes->WarmIndex();
     double radius = near_cond->radius;
-    const std::vector<moving::Sample> samples = moft->AllSamples();
+    const moving::SampleView samples = moft->Scan();
     parallel::OrderedReduce<TupleChunk>(
         threads, samples.size(),
         [&](size_t /*chunk*/, size_t begin, size_t end, TupleChunk* chunk) {
           for (size_t i = begin; i < end; ++i) {
-            const moving::Sample& s = samples[i];
+            const moving::Sample s = samples[i];
             if (!when.Matches(db_->time_dimension(), s.t)) {
               continue;
             }
@@ -421,13 +422,12 @@ Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
       PIET_ASSIGN_OR_RETURN(
           cls, db_->ClassifySamples(mo.moft, result.result_layer));
     }
-    const std::vector<moving::Sample> samples =
-        cls ? cls->samples : moft->AllSamples();
+    const moving::SampleView samples = cls ? cls->samples : moft->Scan();
     parallel::OrderedReduce<TupleChunk>(
         threads, samples.size(),
         [&](size_t /*chunk*/, size_t begin, size_t end, TupleChunk* chunk) {
           for (size_t i = begin; i < end; ++i) {
-            const moving::Sample& s = samples[i];
+            const moving::Sample s = samples[i];
             if (!when.Matches(db_->time_dimension(), s.t)) {
               continue;
             }
@@ -451,12 +451,12 @@ Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
         },
         merge_tuples);
   } else {
-    const std::vector<moving::Sample> samples = moft->AllSamples();
+    const moving::SampleView samples = moft->Scan();
     parallel::OrderedReduce<TupleChunk>(
         threads, samples.size(),
         [&](size_t /*chunk*/, size_t begin, size_t end, TupleChunk* chunk) {
           for (size_t i = begin; i < end; ++i) {
-            const moving::Sample& s = samples[i];
+            const moving::Sample s = samples[i];
             if (when.Matches(db_->time_dimension(), s.t)) {
               chunk->tuples.emplace_back(s.oid, s.t.seconds);
             }

@@ -107,6 +107,12 @@ class TimePredicate {
   bool unconstrained() const {
     return rollup_equals_.empty() && !window_ && !hour_range_;
   }
+  /// True when the predicate is exactly one absolute closed window — the
+  /// case a sorted time column answers with a binary search instead of a
+  /// per-row Matches probe.
+  bool window_only() const {
+    return rollup_equals_.empty() && !hour_range_ && window_.has_value();
+  }
 
  private:
   std::vector<std::pair<std::string, Value>> rollup_equals_;

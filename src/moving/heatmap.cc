@@ -4,8 +4,6 @@
 #include <cmath>
 #include <set>
 
-#include "moving/trajectory.h"
-
 namespace piet::moving {
 
 using geometry::BoundingBox;
@@ -42,34 +40,32 @@ size_t CellOf(double v, double lo, double step, size_t n) {
 }  // namespace
 
 Status TrajectoryHeatmap::AddMoft(const Moft& moft) {
-  for (ObjectId oid : moft.ObjectIds()) {
-    PIET_ASSIGN_OR_RETURN(TrajectorySample sample,
-                          TrajectorySample::FromMoft(moft, oid));
+  const size_t objects = moft.num_objects();
+  for (size_t i = 0; i < objects; ++i) {
+    ObjectSpan span = moft.SpanAt(i);
     // Sample counts.
-    for (const TimedPoint& tp : sample.points()) {
-      size_t cx = CellOf(tp.pos.x, extent_.min_x, step_x_, n_);
-      size_t cy = CellOf(tp.pos.y, extent_.min_y, step_y_, n_);
+    for (const Sample& s : span) {
+      size_t cx = CellOf(s.pos.x, extent_.min_x, step_x_, n_);
+      size_t cy = CellOf(s.pos.y, extent_.min_y, step_y_, n_);
       ++samples_[Index(cx, cy)];
     }
     // Pass counts: walk each LIT leg through the grid (conservative DDA:
     // supersample at half the cell pitch, dedup cells per object).
-    PIET_ASSIGN_OR_RETURN(LinearTrajectory traj,
-                          LinearTrajectory::FromSample(std::move(sample)));
     std::set<size_t> visited;
     double pitch = std::min(step_x_, step_y_) / 2.0;
-    for (const LinearTrajectory::Leg& leg : traj.Legs()) {
+    for (const TrajectoryLeg& leg : span.Legs()) {
       double len = Distance(leg.p0, leg.p1);
       int steps = std::max(1, static_cast<int>(std::ceil(len / pitch)));
-      for (int i = 0; i <= steps; ++i) {
+      for (int i2 = 0; i2 <= steps; ++i2) {
         Point p = leg.p0 + (leg.p1 - leg.p0) *
-                               (static_cast<double>(i) / steps);
+                               (static_cast<double>(i2) / steps);
         size_t cx = CellOf(p.x, extent_.min_x, step_x_, n_);
         size_t cy = CellOf(p.y, extent_.min_y, step_y_, n_);
         visited.insert(Index(cx, cy));
       }
     }
-    if (traj.Legs().empty() && !moft.SamplesOf(oid).empty()) {
-      const Sample& s = moft.SamplesOf(oid).front();
+    if (span.Legs().empty() && !span.empty()) {
+      const Sample s = span.front();
       visited.insert(Index(CellOf(s.pos.x, extent_.min_x, step_x_, n_),
                            CellOf(s.pos.y, extent_.min_y, step_y_, n_)));
     }

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <charconv>
 #include <istream>
+#include <limits>
+#include <numeric>
 #include <ostream>
+#include <utility>
 
 #include "common/string_util.h"
 
@@ -11,84 +14,229 @@ namespace piet::moving {
 
 using temporal::TimePoint;
 
+Moft::Moft(const Moft& other) {
+  std::lock_guard<std::mutex> lock(other.seal_mu_);
+  index_ = other.index_;
+  size_ = other.size_;
+  staging_ = other.staging_;
+  cols_ = other.cols_;
+}
+
+Moft& Moft::operator=(const Moft& other) {
+  if (this != &other) {
+    // Consistent snapshot of `other`; `this` must not be under concurrent
+    // read during assignment (single-writer contract).
+    std::lock_guard<std::mutex> lock(other.seal_mu_);
+    index_ = other.index_;
+    size_ = other.size_;
+    staging_ = other.staging_;
+    cols_ = other.cols_;
+  }
+  return *this;
+}
+
+Moft::Moft(Moft&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.seal_mu_);
+  index_ = std::move(other.index_);
+  size_ = other.size_;
+  other.size_ = 0;
+  staging_ = std::move(other.staging_);
+  cols_ = std::move(other.cols_);
+}
+
+Moft& Moft::operator=(Moft&& other) noexcept {
+  if (this != &other) {
+    std::lock_guard<std::mutex> lock(other.seal_mu_);
+    index_ = std::move(other.index_);
+    size_ = other.size_;
+    other.size_ = 0;
+    staging_ = std::move(other.staging_);
+    cols_ = std::move(other.cols_);
+  }
+  return *this;
+}
+
 Status Moft::Add(ObjectId oid, TimePoint t, geometry::Point pos) {
-  auto& samples = by_object_[oid];
-  Sample s{oid, t, pos};
-  auto it = std::lower_bound(samples.begin(), samples.end(), t,
-                             [](const Sample& a, TimePoint v) {
-                               return a.t < v;
-                             });
-  if (it != samples.end() && it->t == t) {
-    if (it->pos == pos) {
+  auto [it, inserted] = index_.try_emplace(SampleKey{oid, t.seconds}, pos);
+  if (!inserted) {
+    if (it->second == pos) {
       return Status::OK();  // Idempotent duplicate.
     }
     return Status::AlreadyExists(
         "object " + std::to_string(oid) + " already sampled at t=" +
         std::to_string(t.seconds) + " with a different position");
   }
-  samples.insert(it, s);
+  staging_.push_back(Sample{oid, t, pos});
   ++size_;
   return Status::OK();
 }
 
+const MoftColumns& Moft::EnsureSealed() const {
+  std::lock_guard<std::mutex> lock(seal_mu_);
+  if (!staging_.empty() || cols_.seal_epoch == 0) {
+    SealLocked();
+  }
+  return cols_;
+}
+
+void Moft::SealLocked() const {
+  // Append the staged rows to the columns.
+  const size_t n = cols_.size() + staging_.size();
+  cols_.oid.reserve(n);
+  cols_.t.reserve(n);
+  cols_.x.reserve(n);
+  cols_.y.reserve(n);
+  for (const Sample& s : staging_) {
+    cols_.oid.push_back(s.oid);
+    cols_.t.push_back(s.t.seconds);
+    cols_.x.push_back(s.pos.x);
+    cols_.y.push_back(s.pos.y);
+  }
+  staging_.clear();
+
+  // Sort by (oid, t) unless already ordered (the common bulk-load pattern:
+  // per-object appends in time order). Keys are unique — duplicates were
+  // rejected at Add — so the order is strict.
+  auto key_less = [this](size_t a, size_t b) {
+    if (cols_.oid[a] != cols_.oid[b]) {
+      return cols_.oid[a] < cols_.oid[b];
+    }
+    return cols_.t[a] < cols_.t[b];
+  };
+  bool sorted = true;
+  for (size_t i = 1; i < n; ++i) {
+    if (!key_less(i - 1, i)) {
+      sorted = false;
+      break;
+    }
+  }
+  if (!sorted) {
+    std::vector<size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::sort(perm.begin(), perm.end(), key_less);
+    auto gather_i64 = [&](std::vector<ObjectId>* col) {
+      std::vector<ObjectId> out(n);
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = (*col)[perm[i]];
+      }
+      *col = std::move(out);
+    };
+    auto gather_f64 = [&](std::vector<double>* col) {
+      std::vector<double> out(n);
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = (*col)[perm[i]];
+      }
+      *col = std::move(out);
+    };
+    gather_i64(&cols_.oid);
+    gather_f64(&cols_.t);
+    gather_f64(&cols_.x);
+    gather_f64(&cols_.y);
+  }
+
+  // Rebuild the per-object span index.
+  cols_.spans.clear();
+  for (size_t i = 0; i < n;) {
+    size_t begin = i;
+    ObjectId oid = cols_.oid[i];
+    while (i < n && cols_.oid[i] == oid) {
+      ++i;
+    }
+    cols_.spans.push_back(MoftColumns::Span{oid, begin, i});
+  }
+
+  ++cols_.seal_epoch;
+}
+
+size_t Moft::num_objects() const { return EnsureSealed().spans.size(); }
+
 std::vector<ObjectId> Moft::ObjectIds() const {
+  const MoftColumns& cols = EnsureSealed();
   std::vector<ObjectId> out;
-  out.reserve(by_object_.size());
-  for (const auto& [oid, samples] : by_object_) {
-    out.push_back(oid);
+  out.reserve(cols.spans.size());
+  for (const MoftColumns::Span& span : cols.spans) {
+    out.push_back(span.oid);
   }
   return out;
 }
 
-const std::vector<Sample>& Moft::SamplesOf(ObjectId oid) const {
-  static const std::vector<Sample>* kEmpty = new std::vector<Sample>();
-  auto it = by_object_.find(oid);
-  if (it == by_object_.end()) {
-    return *kEmpty;
+const MoftColumns& Moft::Columns() const { return EnsureSealed(); }
+
+SampleView Moft::Scan() const {
+  const MoftColumns& cols = EnsureSealed();
+  return SampleView(&cols, 0, cols.size());
+}
+
+ObjectSpan Moft::SamplesOf(ObjectId oid) const {
+  const MoftColumns& cols = EnsureSealed();
+  auto it = std::lower_bound(
+      cols.spans.begin(), cols.spans.end(), oid,
+      [](const MoftColumns::Span& s, ObjectId v) { return s.oid < v; });
+  if (it == cols.spans.end() || it->oid != oid) {
+    return ObjectSpan(&cols, oid, 0, 0);
   }
-  return it->second;
+  return ObjectSpan(&cols, *it);
+}
+
+ObjectSpan Moft::SpanAt(size_t index) const {
+  const MoftColumns& cols = EnsureSealed();
+  return ObjectSpan(&cols, cols.spans[index]);
+}
+
+SampleWindow Moft::SamplesBetween(TimePoint t0, TimePoint t1) const {
+  const MoftColumns& cols = EnsureSealed();
+  std::vector<SampleWindow::Range> ranges;
+  size_t total = 0;
+  if (!(t1 < t0)) {
+    for (const MoftColumns::Span& span : cols.spans) {
+      const double* tb = cols.t.data() + span.begin;
+      const double* te = cols.t.data() + span.end;
+      const double* lo = std::lower_bound(tb, te, t0.seconds);
+      const double* hi = std::upper_bound(lo, te, t1.seconds);
+      if (lo == hi) {
+        continue;
+      }
+      size_t begin = span.begin + static_cast<size_t>(lo - tb);
+      size_t end = span.begin + static_cast<size_t>(hi - tb);
+      ranges.push_back(SampleWindow::Range{begin, end, total});
+      total += end - begin;
+    }
+  }
+  return SampleWindow(&cols, std::move(ranges), total);
+}
+
+uint64_t Moft::seal_epoch() const {
+  std::lock_guard<std::mutex> lock(seal_mu_);
+  return cols_.seal_epoch;
 }
 
 std::vector<Sample> Moft::AllSamples() const {
+  const MoftColumns& cols = EnsureSealed();
   std::vector<Sample> out;
-  out.reserve(size_);
-  for (const auto& [oid, samples] : by_object_) {
-    out.insert(out.end(), samples.begin(), samples.end());
-  }
-  return out;
-}
-
-std::vector<Sample> Moft::SamplesBetween(TimePoint t0, TimePoint t1) const {
-  std::vector<Sample> out;
-  for (const auto& [oid, samples] : by_object_) {
-    auto lo = std::lower_bound(
-        samples.begin(), samples.end(), t0,
-        [](const Sample& s, TimePoint v) { return s.t < v; });
-    for (auto it = lo; it != samples.end() && it->t <= t1; ++it) {
-      out.push_back(*it);
-    }
+  out.reserve(cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    out.push_back(cols.at(i));
   }
   return out;
 }
 
 Result<temporal::Interval> Moft::TimeSpan() const {
-  if (size_ == 0) {
+  const MoftColumns& cols = EnsureSealed();
+  if (cols.size() == 0) {
     return Status::NotFound("empty MOFT has no time span");
   }
-  TimePoint lo = TimePoint(std::numeric_limits<double>::infinity());
-  TimePoint hi = TimePoint(-std::numeric_limits<double>::infinity());
-  for (const auto& [oid, samples] : by_object_) {
-    if (!samples.empty()) {
-      lo = std::min(lo, samples.front().t);
-      hi = std::max(hi, samples.back().t);
-    }
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const MoftColumns::Span& span : cols.spans) {
+    lo = std::min(lo, cols.t[span.begin]);
+    hi = std::max(hi, cols.t[span.end - 1]);
   }
-  return temporal::Interval(lo, hi);
+  return temporal::Interval(TimePoint(lo), TimePoint(hi));
 }
 
 olap::FactTable Moft::ToFactTable() const {
   olap::FactTable table = olap::FactTable::Make({"Oid", "t", "x", "y"}, {});
-  for (const Sample& s : AllSamples()) {
+  for (const Sample& s : Scan()) {
     (void)table.Append({Value(s.oid), Value(s.t.seconds), Value(s.pos.x),
                         Value(s.pos.y)});
   }
@@ -97,7 +245,7 @@ olap::FactTable Moft::ToFactTable() const {
 
 Status Moft::WriteCsv(std::ostream& out) const {
   out << "# oid,t,x,y\n";
-  for (const Sample& s : AllSamples()) {
+  for (const Sample& s : Scan()) {
     out << s.oid << "," << s.t.seconds << "," << s.pos.x << "," << s.pos.y
         << "\n";
   }

@@ -3,60 +3,83 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <map>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "geometry/point.h"
+#include "moving/moft_columns.h"
 #include "olap/fact_table.h"
 #include "temporal/interval.h"
 #include "temporal/time_point.h"
 
 namespace piet::moving {
 
-/// Identifier of a moving object (the paper's Oid).
-using ObjectId = int64_t;
-
-/// One observation row of the MOFT: (Oid, t, x, y).
-struct Sample {
-  ObjectId oid = 0;
-  temporal::TimePoint t;
-  geometry::Point pos;
-
-  friend bool operator==(const Sample& a, const Sample& b) {
-    return a.oid == b.oid && a.t == b.t && a.pos == b.pos;
-  }
-};
-
 /// The Moving Object Fact Table (Sec. 3): a finite set of samples
-/// (Oid, t, x, y). Stored per object in time order; duplicate (Oid, t)
-/// pairs are rejected (an object is at one place at a time).
+/// (Oid, t, x, y). Storage is columnar: `Add` appends to a staging buffer
+/// in O(1); the first read after a mutation *seals* — sorts the combined
+/// rows by (oid, t) once into contiguous per-attribute arrays
+/// (MoftColumns) and rebuilds the per-object span index. Reads hand out
+/// zero-copy views (SampleView / ObjectSpan / LegView / SampleWindow) over
+/// the sealed columns; nothing on a query path copies the fact table.
+///
+/// Duplicate (Oid, t) pairs are rejected at Add time (an object is at one
+/// place at a time); re-adding an identical observation is idempotent.
+///
+/// Thread safety: concurrent const reads are safe (sealing is internally
+/// synchronized and happens at most once per mutation); `Add` must not run
+/// concurrently with reads, like any single-writer container. Views borrow
+/// the sealed columns — they stay valid until the next seal after a
+/// mutation (SampleView::valid() checks the seal epoch) and must not
+/// outlive the Moft.
 class Moft {
  public:
   Moft() = default;
+  Moft(const Moft& other);
+  Moft& operator=(const Moft& other);
+  Moft(Moft&& other) noexcept;
+  Moft& operator=(Moft&& other) noexcept;
+  ~Moft() = default;
 
-  /// Appends an observation. Out-of-order inserts are fine (kept sorted);
-  /// a second observation of the same object at the same instant must agree
-  /// on the position.
+  /// Appends an observation. Out-of-order inserts are fine (sorted at the
+  /// next seal); a second observation of the same object at the same
+  /// instant must agree on the position.
   Status Add(ObjectId oid, temporal::TimePoint t, geometry::Point pos);
 
   size_t num_samples() const { return size_; }
-  size_t num_objects() const { return by_object_.size(); }
+  size_t num_objects() const;
 
   /// All object ids, ascending.
   std::vector<ObjectId> ObjectIds() const;
 
-  /// Time-ordered samples of one object (empty when unknown).
-  const std::vector<Sample>& SamplesOf(ObjectId oid) const;
+  /// The sealed columns (seals first when dirty). Borrowed; stable until
+  /// the next mutation + seal.
+  const MoftColumns& Columns() const;
 
-  /// Every sample, ordered by (oid, t).
+  /// Zero-copy view of every sample, ordered by (oid, t).
+  SampleView Scan() const;
+
+  /// Time-ordered samples of one object (empty span when unknown).
+  ObjectSpan SamplesOf(ObjectId oid) const;
+
+  /// The span of the index-th object in ascending-oid order
+  /// (index < num_objects()).
+  ObjectSpan SpanAt(size_t index) const;
+
+  /// Samples with t in the closed window [t0, t1], ordered by (oid, t) —
+  /// one binary search per object span on the time column, no copies.
+  SampleWindow SamplesBetween(temporal::TimePoint t0,
+                              temporal::TimePoint t1) const;
+
+  /// Epoch of the current seal (0 = never sealed). Bumps every time the
+  /// columns are rebuilt; views taken before a bump are invalid.
+  uint64_t seal_epoch() const;
+
+  /// Materializes every sample as a row vector. Test/export helper only —
+  /// query hot paths use Scan() and never copy the table.
   std::vector<Sample> AllSamples() const;
-
-  /// Samples with t in the closed window, ordered by (oid, t). Uses the
-  /// per-object time ordering for O(log n) window location per object.
-  std::vector<Sample> SamplesBetween(temporal::TimePoint t0,
-                                     temporal::TimePoint t1) const;
 
   /// The observation window [min t, max t] across all samples.
   Result<temporal::Interval> TimeSpan() const;
@@ -69,8 +92,36 @@ class Moft {
   static Result<Moft> ReadCsv(std::istream& in);
 
  private:
-  std::map<ObjectId, std::vector<Sample>> by_object_;
+  /// Key of the duplicate-observation index. Equality uses double == on t
+  /// (so 0.0 and -0.0 collide, matching TimePoint equality); the hash
+  /// normalizes -0.0 accordingly.
+  struct SampleKey {
+    ObjectId oid = 0;
+    double t = 0.0;
+    friend bool operator==(const SampleKey& a, const SampleKey& b) {
+      return a.oid == b.oid && a.t == b.t;
+    }
+  };
+  struct SampleKeyHash {
+    size_t operator()(const SampleKey& k) const {
+      size_t h1 = std::hash<ObjectId>()(k.oid);
+      size_t h2 = std::hash<double>()(k.t == 0.0 ? 0.0 : k.t);
+      return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+    }
+  };
+
+  /// Seals when dirty (merges staging, sorts, rebuilds spans, bumps the
+  /// epoch) and returns the columns. Thread-safe; serialized internally.
+  const MoftColumns& EnsureSealed() const;
+  void SealLocked() const;
+
+  /// (oid, t) -> position of every stored sample, for O(1) duplicate
+  /// detection on the write path.
+  std::unordered_map<SampleKey, geometry::Point, SampleKeyHash> index_;
   size_t size_ = 0;
+  mutable std::vector<Sample> staging_;
+  mutable MoftColumns cols_;
+  mutable std::mutex seal_mu_;
 };
 
 }  // namespace piet::moving

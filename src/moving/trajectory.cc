@@ -24,14 +24,17 @@ Result<TrajectorySample> TrajectorySample::Create(
 
 Result<TrajectorySample> TrajectorySample::FromMoft(const Moft& moft,
                                                     ObjectId oid) {
-  const std::vector<Sample>& samples = moft.SamplesOf(oid);
-  if (samples.empty()) {
-    return Status::NotFound("object " + std::to_string(oid) +
+  return FromSpan(moft.SamplesOf(oid));
+}
+
+Result<TrajectorySample> TrajectorySample::FromSpan(const ObjectSpan& span) {
+  if (span.empty()) {
+    return Status::NotFound("object " + std::to_string(span.oid()) +
                             " has no samples");
   }
   std::vector<TimedPoint> points;
-  points.reserve(samples.size());
-  for (const Sample& s : samples) {
+  points.reserve(span.size());
+  for (const Sample& s : span) {
     points.push_back({s.t, s.pos});
   }
   return Create(std::move(points));

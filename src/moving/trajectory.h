@@ -30,6 +30,10 @@ class TrajectorySample {
   /// Builds from one object's MOFT rows.
   static Result<TrajectorySample> FromMoft(const Moft& moft, ObjectId oid);
 
+  /// Builds from one object's column span (as handed out by
+  /// Moft::SamplesOf / SpanAt) without touching the rest of the table.
+  static Result<TrajectorySample> FromSpan(const ObjectSpan& span);
+
   const std::vector<TimedPoint>& points() const { return points_; }
   size_t size() const { return points_.size(); }
   bool empty() const { return points_.empty(); }
