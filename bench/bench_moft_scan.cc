@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs_dump.h"
+
 #include <memory>
 #include <vector>
 
@@ -174,6 +176,7 @@ int main(int argc, char** argv) {
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  piet::benchutil::DumpMetricsSnapshotIfRequested();
   benchmark::Shutdown();
   return 0;
 }

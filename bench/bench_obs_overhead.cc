@@ -1,0 +1,192 @@
+// E11 — observability overhead on the MOFT scan hot loop.
+//
+// The instrumentation contract is "one branch per site when disabled":
+// hot loops accumulate into locals and flush once behind an
+// obs::Enabled() check, so the disabled path adds a single relaxed atomic
+// load + branch per *scan*, not per row. This bench pins that claim:
+//  * BM_ScanRaw — the uninstrumented scan loop;
+//  * BM_ScanObsDisabled — the exact instrumented pattern, gate off;
+//  * BM_ScanObsEnabled — the same pattern with the gate on (one sharded
+//    counter add per scan — still not per row).
+//
+// With PIET_OBS_OVERHEAD_CHECK=1 the binary skips the benchmark harness
+// and self-checks: medians over interleaved repetitions must show the
+// disabled path within 2% of raw (exit 1 otherwise). CI runs this mode.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "moving/moft.h"
+#include "obs/metrics.h"
+#include "obs_dump.h"
+#include "workload/city.h"
+#include "workload/trajectories.h"
+
+namespace {
+
+using piet::moving::Moft;
+using piet::moving::Sample;
+using piet::workload::CityConfig;
+using piet::workload::TrajectoryConfig;
+
+std::shared_ptr<Moft> MakeMoft(int objects) {
+  CityConfig config;
+  config.seed = 2026;
+  config.grid_cols = 10;
+  config.grid_rows = 10;
+  auto city = piet::workload::GenerateCity(config).ValueOrDie();
+
+  TrajectoryConfig traj;
+  traj.seed = 8;
+  traj.num_objects = objects;
+  traj.duration = 4 * 3600.0;
+  traj.sample_period = 15.0;
+  traj.speed = 12.0;
+  auto moft = std::make_shared<Moft>(
+      piet::workload::GenerateTrajectories(city, traj).ValueOrDie());
+  (void)moft->Scan();  // Seal outside the timed region.
+  return moft;
+}
+
+double ScanRaw(const Moft& moft) {
+  double acc = 0.0;
+  for (const Sample& s : moft.Scan()) {
+    acc += s.pos.x + s.pos.y + s.t.seconds;
+  }
+  return acc;
+}
+
+// The instrumented shape every engine hot path uses: per-row work stays in
+// locals; the registry is touched once per scan, behind the gate.
+double ScanInstrumented(const Moft& moft) {
+  double acc = 0.0;
+  size_t rows = 0;
+  for (const Sample& s : moft.Scan()) {
+    acc += s.pos.x + s.pos.y + s.t.seconds;
+    ++rows;
+  }
+  if (piet::obs::Enabled()) {
+    piet::obs::MetricsRegistry::Global()
+        .GetCounter("bench.scan.rows")
+        .Add(static_cast<int64_t>(rows));
+  }
+  return acc;
+}
+
+void BM_ScanRaw(benchmark::State& state) {
+  auto moft = MakeMoft(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScanRaw(*moft));
+  }
+  state.SetItemsProcessed(state.iterations() * moft->num_samples());
+}
+
+void BM_ScanObsDisabled(benchmark::State& state) {
+  piet::obs::SetEnabled(false);
+  auto moft = MakeMoft(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScanInstrumented(*moft));
+  }
+  state.SetItemsProcessed(state.iterations() * moft->num_samples());
+}
+
+void BM_ScanObsEnabled(benchmark::State& state) {
+  piet::obs::SetEnabled(true);
+  auto moft = MakeMoft(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScanInstrumented(*moft));
+  }
+  state.SetItemsProcessed(state.iterations() * moft->num_samples());
+  piet::obs::SetEnabled(false);
+}
+
+/// One measurement pass: interleaved repetitions so drift hits both loops
+/// alike; medians so stray scheduler blips don't decide the verdict.
+double MeasureOverhead(const Moft& moft) {
+  constexpr int kReps = 51;
+  std::vector<double> raw_ns;
+  std::vector<double> obs_ns;
+  raw_ns.reserve(kReps);
+  obs_ns.reserve(kReps);
+
+  // Warm both code paths (and let the CPU clock ramp) before timing.
+  for (int i = 0; i < 10; ++i) {
+    benchmark::DoNotOptimize(ScanRaw(moft));
+    benchmark::DoNotOptimize(ScanInstrumented(moft));
+  }
+
+  using Clock = std::chrono::steady_clock;
+  for (int i = 0; i < kReps; ++i) {
+    auto t0 = Clock::now();
+    benchmark::DoNotOptimize(ScanRaw(moft));
+    auto t1 = Clock::now();
+    benchmark::DoNotOptimize(ScanInstrumented(moft));
+    auto t2 = Clock::now();
+    raw_ns.push_back(
+        std::chrono::duration<double, std::nano>(t1 - t0).count());
+    obs_ns.push_back(
+        std::chrono::duration<double, std::nano>(t2 - t1).count());
+  }
+  auto median = [](std::vector<double>& v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  double raw = median(raw_ns);
+  double obs = median(obs_ns);
+  double overhead = (obs - raw) / raw;
+  std::printf("moft scan raw median    : %.0f ns\n", raw);
+  std::printf("moft scan obs-off median: %.0f ns\n", obs);
+  std::printf("disabled-path overhead  : %.3f%% (limit 2%%)\n",
+              overhead * 100.0);
+  return overhead;
+}
+
+/// CI self-check. A shared runner can hiccup through a whole pass (frequency
+/// ramp, noisy neighbour), so the gate retries: pass if ANY of 3 attempts
+/// lands under the limit — the claim is about the code, not the machine.
+int RunOverheadCheck() {
+  piet::obs::SetEnabled(false);
+  auto moft = MakeMoft(200);
+  constexpr int kAttempts = 3;
+  double overhead = 0.0;
+  for (int attempt = 1; attempt <= kAttempts; ++attempt) {
+    overhead = MeasureOverhead(*moft);
+    if (overhead < 0.02) {
+      std::printf("OK\n");
+      return 0;
+    }
+    std::printf("attempt %d/%d over limit, retrying\n", attempt, kAttempts);
+  }
+  std::fprintf(stderr,
+               "FAIL: disabled observability costs %.3f%% on the scan "
+               "hot loop (>= 2%% on %d consecutive attempts)\n",
+               overhead * 100.0, kAttempts);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* check = std::getenv("PIET_OBS_OVERHEAD_CHECK");
+  if (check != nullptr && *check != '\0' && *check != '0') {
+    return RunOverheadCheck();
+  }
+  for (int objects : {50, 200, 800}) {
+    benchmark::RegisterBenchmark("BM_ScanRaw", BM_ScanRaw)->Arg(objects);
+    benchmark::RegisterBenchmark("BM_ScanObsDisabled", BM_ScanObsDisabled)
+        ->Arg(objects);
+    benchmark::RegisterBenchmark("BM_ScanObsEnabled", BM_ScanObsEnabled)
+        ->Arg(objects);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  piet::benchutil::DumpMetricsSnapshotIfRequested();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs_dump.h"
+
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -212,6 +214,7 @@ int main(int argc, char** argv) {
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  piet::benchutil::DumpMetricsSnapshotIfRequested();
   benchmark::Shutdown();
   return 0;
 }

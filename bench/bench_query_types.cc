@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs_dump.h"
+
 #include <cstdio>
 #include <memory>
 
@@ -187,6 +189,7 @@ int main(int argc, char** argv) {
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  piet::benchutil::DumpMetricsSnapshotIfRequested();
   benchmark::Shutdown();
   return 0;
 }

@@ -1,0 +1,33 @@
+#ifndef PIET_BENCH_OBS_DUMP_H_
+#define PIET_BENCH_OBS_DUMP_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/metrics.h"
+
+namespace piet::benchutil {
+
+/// Writes the merged metrics-registry snapshot to the path named by the
+/// PIET_OBS_OUT environment variable (no-op when unset). scripts/bench.sh
+/// sets PIET_OBS=1 and points PIET_OBS_OUT next to each BENCH_*.json so
+/// every baseline carries the work counters (rows scanned, cells visited,
+/// cache hits) that produced it. Call once from main, after
+/// RunSpecifiedBenchmarks.
+inline void DumpMetricsSnapshotIfRequested() {
+  const char* path = std::getenv("PIET_OBS_OUT");
+  if (path == nullptr || *path == '\0') {
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "PIET_OBS_OUT: cannot open '%s'\n", path);
+    return;
+  }
+  out << obs::MetricsRegistry::Global().DumpJson() << "\n";
+}
+
+}  // namespace piet::benchutil
+
+#endif  // PIET_BENCH_OBS_DUMP_H_

@@ -6,6 +6,11 @@
 //   echo "<query>" | pietql_shell
 //   PIETQL_CHECK=strict pietql_shell   # semantic analysis: off|warn|strict
 //
+// Prefix any query with `EXPLAIN ANALYZE` to run it under a trace collector
+// and print the span tree (parse -> analyze -> geo_filter -> moft_intersect
+// -> aggregate, with per-stage durations and work counters) above the
+// result. The result is bit-identical to the unprefixed query.
+//
 // The database is a deterministic 8x8 city with a 200-car random-waypoint
 // MOFT named `cars`. Available layers: neighborhoods (polygon; attributes
 // income, population, name), streets, schools, stores, stops, rivers.
@@ -23,6 +28,7 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <string_view>
 
 #include "analysis/diagnostic.h"
 #include "core/pietql/evaluator.h"
@@ -87,7 +93,31 @@ int main() {
     if (line.empty()) {
       break;
     }
-    auto result = evaluator.EvaluateString(line);
+    std::string_view text = line;
+    bool explain = false;
+    constexpr std::string_view kExplain = "EXPLAIN ANALYZE";
+    if (text.substr(0, kExplain.size()) == kExplain) {
+      explain = true;
+      text.remove_prefix(kExplain.size());
+      while (!text.empty() && text.front() == ' ') {
+        text.remove_prefix(1);
+      }
+    }
+    if (explain) {
+      auto profiled = evaluator.EvaluateStringProfiled(text);
+      if (!profiled.ok()) {
+        std::printf("error: %s\n", profiled.status().ToString().c_str());
+        continue;
+      }
+      const auto& value = profiled.ValueOrDie();
+      std::printf("%s", value.profile.ToPrettyString().c_str());
+      for (const piet::analysis::Diagnostic& d : value.result.diagnostics) {
+        std::printf("%s\n", d.ToString().c_str());
+      }
+      std::printf("%s\n", value.result.ToString().c_str());
+      continue;
+    }
+    auto result = evaluator.EvaluateString(text);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;

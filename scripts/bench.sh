@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Runs the E2/E3/E10 benchmark suites (Release build) and writes JSON
+# Runs the E2/E3/E10/E11 benchmark suites (Release build) and writes JSON
 # baselines at the repo root: BENCH_overlay.json, BENCH_query_types.json,
-# and BENCH_moft_scan.json (columnar scan throughput in rows/sec). The
-# benches sweep a `threads` axis (1 vs 4 via Engine/Database num_threads),
-# so the baselines carry the serial-vs-parallel comparison; counters record
-# problem size (polygons, samples, points) alongside.
+# BENCH_moft_scan.json, and BENCH_obs_overhead.json. The benches sweep a
+# `threads` axis (1 vs 4 via Engine/Database num_threads), so the baselines
+# carry the serial-vs-parallel comparison; counters record problem size
+# (polygons, samples, points) alongside.
+#
+# Each run also executes with PIET_OBS=1 and writes the merged metrics
+# registry (work counters: rows scanned, overlay cells visited, cache
+# hits/misses) to BENCH_<name>_metrics.json next to the timing baseline, so
+# a perf regression can be split into "more work" vs "slower work".
 #
 # Usage: scripts/bench.sh [extra benchmark args...]
 #   BUILD_DIR=...  build directory (default build-bench, Release)
@@ -21,7 +26,7 @@ cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 
 echo "== build benches =="
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-  --target bench_overlay bench_query_types bench_moft_scan
+  --target bench_overlay bench_query_types bench_moft_scan bench_obs_overhead
 
 extra_args=()
 if [[ -n "${FILTER:-}" ]]; then
@@ -29,27 +34,27 @@ if [[ -n "${FILTER:-}" ]]; then
 fi
 
 # --benchmark_out keeps the JSON clean: the shape reports print to stdout,
-# the machine-readable baseline goes to the file.
-echo "== bench_overlay -> BENCH_overlay.json =="
-"${BUILD_DIR}/bench/bench_overlay" \
-  --benchmark_out=BENCH_overlay.json \
-  --benchmark_out_format=json \
-  --benchmark_format=console \
-  "${extra_args[@]}" "$@"
+# the machine-readable baseline goes to the file. PIET_OBS_OUT makes the
+# bench dump the metrics snapshot on exit (see bench/obs_dump.h).
+run_bench() {
+  local name="$1"
+  shift
+  echo "== ${name} -> BENCH_${name#bench_}.json (+ metrics) =="
+  PIET_OBS=1 PIET_OBS_OUT="BENCH_${name#bench_}_metrics.json" \
+    "${BUILD_DIR}/bench/${name}" \
+    --benchmark_out="BENCH_${name#bench_}.json" \
+    --benchmark_out_format=json \
+    --benchmark_format=console \
+    "$@"
+}
 
-echo "== bench_query_types -> BENCH_query_types.json =="
-"${BUILD_DIR}/bench/bench_query_types" \
-  --benchmark_out=BENCH_query_types.json \
-  --benchmark_out_format=json \
-  --benchmark_format=console \
-  "${extra_args[@]}" "$@"
+run_bench bench_overlay "${extra_args[@]}" "$@"
+run_bench bench_query_types "${extra_args[@]}" "$@"
+run_bench bench_moft_scan "${extra_args[@]}" "$@"
+run_bench bench_obs_overhead "${extra_args[@]}" "$@"
 
-echo "== bench_moft_scan -> BENCH_moft_scan.json =="
-"${BUILD_DIR}/bench/bench_moft_scan" \
-  --benchmark_out=BENCH_moft_scan.json \
-  --benchmark_out_format=json \
-  --benchmark_format=console \
-  "${extra_args[@]}" "$@"
+echo "== obs disabled-path overhead self-check =="
+PIET_OBS_OVERHEAD_CHECK=1 "${BUILD_DIR}/bench/bench_obs_overhead"
 
 echo "== baselines written: BENCH_overlay.json BENCH_query_types.json" \
-     "BENCH_moft_scan.json =="
+     "BENCH_moft_scan.json BENCH_obs_overhead.json (+ *_metrics.json) =="

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+
 namespace piet::parallel {
 
 int DefaultThreads() {
@@ -61,6 +63,11 @@ void ThreadPool::EnsureWorkers(size_t want) {
   std::lock_guard<std::mutex> lock(mu_);
   while (workers_.size() < want && !stop_) {
     workers_.emplace_back([this] { WorkerLoop(); });
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("parallel.workers_spawned")
+          .Add(1);
+    }
   }
 }
 
@@ -112,6 +119,11 @@ void ThreadPool::Run(int threads, const ChunkPlan& plan,
 
   size_t helpers =
       std::min<size_t>(static_cast<size_t>(threads), plan.num_chunks) - 1;
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("parallel.tasks_queued")
+        .Add(static_cast<int64_t>(helpers));
+  }
   EnsureWorkers(helpers);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -137,6 +149,17 @@ void ParallelFor(int threads, size_t n,
   ChunkPlan plan = PlanChunks(n);
   if (plan.num_chunks == 0) {
     return;
+  }
+  if (obs::Enabled()) {
+    // One flush per loop, not per chunk: every planned chunk always runs.
+    // Chunk sizes differ by at most one by construction; the imbalance
+    // gauge records whether the last plan split evenly (0) or not (1).
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("parallel.loops").Add(1);
+    registry.GetCounter("parallel.chunks_executed")
+        .Add(static_cast<int64_t>(plan.num_chunks));
+    registry.GetGauge("parallel.chunk_imbalance")
+        .Set(plan.n % plan.num_chunks == 0 ? 0 : 1);
   }
   if (threads <= 1 || plan.num_chunks == 1) {
     // The serial code path: chunks run inline, in order, on this thread.

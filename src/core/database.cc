@@ -10,21 +10,34 @@ GeoOlapDatabase::GeoOlapDatabase(gis::GisDimensionInstance gis_instance)
     : gis_(std::move(gis_instance)) {}
 
 GeoOlapDatabase::GeoOlapDatabase(GeoOlapDatabase&& other) noexcept
-    : gis_(std::move(other.gis_)),
-      time_dim_(std::move(other.time_dim_)),
-      mofts_(std::move(other.mofts_)),
-      fact_tables_(std::move(other.fact_tables_)),
-      overlay_(std::move(other.overlay_)),
-      overlay_layers_(std::move(other.overlay_layers_)),
-      check_mode_(other.check_mode_),
-      check_options_(other.check_options_),
-      last_load_diagnostics_(std::move(other.last_load_diagnostics_)),
-      num_threads_(other.num_threads_),
-      epoch_(other.epoch_),
-      classify_cache_(std::move(other.classify_cache_)) {}
+    : gis_(std::move(other.gis_)) {
+  // Take the source's cache lock so the cache and its epoch transfer as
+  // one consistent unit even if a stale reader is still draining (the
+  // single-writer contract says there shouldn't be one, but a torn
+  // epoch/cache pair would silently serve wrong classifications).
+  std::lock_guard<std::mutex> lock(other.classify_mu_);
+  time_dim_ = std::move(other.time_dim_);
+  mofts_ = std::move(other.mofts_);
+  fact_tables_ = std::move(other.fact_tables_);
+  overlay_ = std::move(other.overlay_);
+  overlay_layers_ = std::move(other.overlay_layers_);
+  check_mode_ = other.check_mode_;
+  check_options_ = other.check_options_;
+  last_load_diagnostics_ = std::move(other.last_load_diagnostics_);
+  num_threads_ = other.num_threads_;
+  epoch_ = other.epoch_;
+  classify_cache_ = std::move(other.classify_cache_);
+  // The moved-from database keeps a valid-but-empty cache: its MOFTs are
+  // gone, so any surviving entry would hold dangling sample views.
+  other.classify_cache_.clear();
+}
 
 GeoOlapDatabase& GeoOlapDatabase::operator=(GeoOlapDatabase&& other) noexcept {
   if (this != &other) {
+    // Both caches move under their locks: the target's old entries die
+    // with its old MOFTs, the source's entries must stay paired with the
+    // source epoch while they transfer.
+    std::scoped_lock lock(classify_mu_, other.classify_mu_);
     gis_ = std::move(other.gis_);
     time_dim_ = std::move(other.time_dim_);
     mofts_ = std::move(other.mofts_);
@@ -37,6 +50,7 @@ GeoOlapDatabase& GeoOlapDatabase::operator=(GeoOlapDatabase&& other) noexcept {
     num_threads_ = other.num_threads_;
     epoch_ = other.epoch_;
     classify_cache_ = std::move(other.classify_cache_);
+    other.classify_cache_.clear();
   }
   return *this;
 }
@@ -173,12 +187,22 @@ Result<size_t> GeoOlapDatabase::OverlayLayerIndex(
 void GeoOlapDatabase::InvalidateClassifications() {
   std::lock_guard<std::mutex> lock(classify_mu_);
   ++epoch_;
+  if (obs::Enabled()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("db.classify.invalidations").Add(1);
+    registry.GetCounter("db.classify.entries_dropped")
+        .Add(static_cast<int64_t>(classify_cache_.size()));
+  }
   classify_cache_.clear();
 }
 
 size_t GeoOlapDatabase::classification_cache_size() const {
   std::lock_guard<std::mutex> lock(classify_mu_);
   return classify_cache_.size();
+}
+
+obs::MetricsSnapshot GeoOlapDatabase::Stats() const {
+  return obs::MetricsRegistry::Global().Snapshot();
 }
 
 Result<std::shared_ptr<const SampleClassification>>
@@ -189,8 +213,18 @@ GeoOlapDatabase::ClassifySamples(const std::string& moft_name,
     std::lock_guard<std::mutex> lock(classify_mu_);
     auto it = classify_cache_.find(key);
     if (it != classify_cache_.end()) {
+      if (obs::Enabled()) {
+        obs::MetricsRegistry::Global()
+            .GetCounter("db.classify.cache_hits")
+            .Add(1);
+      }
       return it->second;
     }
+  }
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("db.classify.cache_misses")
+        .Add(1);
   }
 
   PIET_ASSIGN_OR_RETURN(const moving::Moft* moft, GetMoft(moft_name));

@@ -15,6 +15,7 @@
 #include "gis/instance.h"
 #include "gis/overlay.h"
 #include "moving/moft.h"
+#include "obs/metrics.h"
 #include "olap/fact_table.h"
 #include "temporal/time_dimension.h"
 
@@ -121,6 +122,13 @@ class GeoOlapDatabase {
 
   /// Number of live cache entries (tests/diagnostics).
   size_t classification_cache_size() const;
+
+  /// Merged snapshot of the process-wide metrics registry (counters,
+  /// gauges, latency histograms of every instrumented layer). Values only
+  /// accumulate while observability is enabled (PIET_OBS=1 or
+  /// obs::SetEnabled(true)); the registry is process-global, so databases
+  /// sharing a process share one set of counters.
+  obs::MetricsSnapshot Stats() const;
 
  private:
   void InvalidateClassifications();

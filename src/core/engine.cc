@@ -1,12 +1,14 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <unordered_set>
 
 #include "common/parallel.h"
 #include "moving/bead.h"
 #include "moving/traj_ops.h"
+#include "obs/metrics.h"
 
 namespace piet::core {
 
@@ -113,6 +115,52 @@ Result<IntervalSet> MatchingTimeOf(const TimePredicate& when,
   return when.MatchingIntervals(dim, domain);
 }
 
+/// Flushes one engine call's work counters and latency to the registry on
+/// destruction. The enabled check happens once at construction, so a
+/// disabled query pays one branch — the per-row loops never touch the
+/// registry (they accumulate into chunk-local EngineStats regardless).
+class QueryObs {
+ public:
+  QueryObs(const char* type, const EngineStats* stats)
+      : enabled_(obs::Enabled()), type_(type), stats_(stats) {
+    if (enabled_) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  QueryObs(const QueryObs&) = delete;
+  QueryObs& operator=(const QueryObs&) = delete;
+
+  void set_rows_matched(size_t n) { rows_matched_ = n; }
+
+  ~QueryObs() {
+    if (!enabled_) {
+      return;
+    }
+    int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count();
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetHistogram(std::string("engine.query.") + type_ + ".latency")
+        .RecordNanos(ns);
+    registry.GetCounter("engine.queries").Add(1);
+    registry.GetCounter("engine.rows_scanned")
+        .Add(static_cast<int64_t>(stats_->samples_scanned));
+    registry.GetCounter("engine.point_tests")
+        .Add(static_cast<int64_t>(stats_->point_tests));
+    registry.GetCounter("engine.legs_tested")
+        .Add(static_cast<int64_t>(stats_->legs_tested));
+    registry.GetCounter("engine.rows_matched")
+        .Add(static_cast<int64_t>(rows_matched_));
+  }
+
+ private:
+  bool enabled_;
+  const char* type_;
+  const EngineStats* stats_;
+  size_t rows_matched_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace
 
 Result<std::vector<GeometryId>> QueryEngine::QualifyingGeometries(
@@ -132,6 +180,7 @@ Result<std::vector<GeometryId>> QueryEngine::QualifyingGeometries(
 Result<olap::FactTable> QueryEngine::SamplesMatchingTime(
     const std::string& moft_name, const TimePredicate& when) const {
   stats_ = EngineStats{};
+  QueryObs query_obs("samples_matching_time", &stats_);
   PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
   FactTable out = FactTable::Make({"Oid", "t", "x", "y"}, {});
 
@@ -157,6 +206,7 @@ Result<olap::FactTable> QueryEngine::SamplesMatchingTime(
           }
           return Status::OK();
         }));
+    query_obs.set_rows_matched(out.num_rows());
     return out;
   }
 
@@ -176,6 +226,7 @@ Result<olap::FactTable> QueryEngine::SamplesMatchingTime(
         }
         return Status::OK();
       }));
+  query_obs.set_rows_matched(out.num_rows());
   return out;
 }
 
@@ -253,6 +304,7 @@ Result<FactTable> QueryEngine::SampleRegion(const std::string& moft_name,
                                             const TimePredicate& when,
                                             Strategy strategy) const {
   stats_ = EngineStats{};
+  QueryObs query_obs("sample_region", &stats_);
   PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
   PIET_ASSIGN_OR_RETURN(LocateContext ctx,
                         MakeLocateContext(layer_name, pred, strategy));
@@ -290,6 +342,7 @@ Result<FactTable> QueryEngine::SampleRegion(const std::string& moft_name,
           }
           return Status::OK();
         }));
+    query_obs.set_rows_matched(out.num_rows());
     return out;
   }
 
@@ -312,6 +365,7 @@ Result<FactTable> QueryEngine::SampleRegion(const std::string& moft_name,
         }
         return Status::OK();
       }));
+  query_obs.set_rows_matched(out.num_rows());
   return out;
 }
 
@@ -319,6 +373,7 @@ Result<FactTable> QueryEngine::SamplesOnPolylines(
     const std::string& moft_name, const std::string& layer_name,
     double tolerance, const TimePredicate& when) const {
   stats_ = EngineStats{};
+  QueryObs query_obs("samples_on_polylines", &stats_);
   PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
   PIET_ASSIGN_OR_RETURN(const Layer* layer, db_->gis().GetLayer(layer_name));
   if (layer->kind() != gis::GeometryKind::kPolyline &&
@@ -355,6 +410,7 @@ Result<FactTable> QueryEngine::SamplesOnPolylines(
         }
         return Status::OK();
       }));
+  query_obs.set_rows_matched(out.num_rows());
   return out;
 }
 
@@ -362,6 +418,7 @@ Result<FactTable> QueryEngine::SamplesNearNodes(
     const std::string& moft_name, const std::string& layer_name, double radius,
     const TimePredicate& when) const {
   stats_ = EngineStats{};
+  QueryObs query_obs("samples_near_nodes", &stats_);
   PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
   PIET_ASSIGN_OR_RETURN(const Layer* layer, db_->gis().GetLayer(layer_name));
   if (layer->kind() != gis::GeometryKind::kNode &&
@@ -396,6 +453,7 @@ Result<FactTable> QueryEngine::SamplesNearNodes(
         }
         return Status::OK();
       }));
+  query_obs.set_rows_matched(out.num_rows());
   return out;
 }
 
@@ -404,6 +462,7 @@ Result<FactTable> QueryEngine::SnapshotInRegion(const std::string& moft_name,
                                                 const GeometryPredicate& pred,
                                                 TimePoint t) const {
   stats_ = EngineStats{};
+  QueryObs query_obs("snapshot_in_region", &stats_);
   PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
   PIET_ASSIGN_OR_RETURN(const Layer* layer, db_->gis().GetLayer(layer_name));
   PIET_ASSIGN_OR_RETURN(std::vector<GeometryId> qualifying,
@@ -440,6 +499,7 @@ Result<FactTable> QueryEngine::SnapshotInRegion(const std::string& moft_name,
         }
         return Status::OK();
       }));
+  query_obs.set_rows_matched(out.num_rows());
   return out;
 }
 
@@ -448,6 +508,7 @@ Result<FactTable> QueryEngine::TrajectoryRegion(const std::string& moft_name,
                                                 const GeometryPredicate& pred,
                                                 const TimePredicate& when) const {
   stats_ = EngineStats{};
+  QueryObs query_obs("trajectory_region", &stats_);
   PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
   PIET_ASSIGN_OR_RETURN(const Layer* layer, db_->gis().GetLayer(layer_name));
   if (layer->kind() != gis::GeometryKind::kPolygon) {
@@ -493,6 +554,7 @@ Result<FactTable> QueryEngine::TrajectoryRegion(const std::string& moft_name,
         }
         return Status::OK();
       }));
+  query_obs.set_rows_matched(out.num_rows());
   return out;
 }
 
@@ -500,6 +562,7 @@ Result<FactTable> QueryEngine::TrajectoryNearNodes(
     const std::string& moft_name, const std::string& layer_name, double radius,
     const TimePredicate& when) const {
   stats_ = EngineStats{};
+  QueryObs query_obs("trajectory_near_nodes", &stats_);
   PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
   PIET_ASSIGN_OR_RETURN(const Layer* layer, db_->gis().GetLayer(layer_name));
   if (layer->kind() != gis::GeometryKind::kNode &&
@@ -557,6 +620,7 @@ Result<FactTable> QueryEngine::TrajectoryNearNodes(
         }
         return Status::OK();
       }));
+  query_obs.set_rows_matched(out.num_rows());
   return out;
 }
 
@@ -564,6 +628,7 @@ Result<FactTable> QueryEngine::TrajectoryAggregates(
     const std::string& moft_name, const std::string& layer_name,
     const GeometryPredicate& pred) const {
   stats_ = EngineStats{};
+  QueryObs query_obs("trajectory_aggregates", &stats_);
   PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
   PIET_ASSIGN_OR_RETURN(const Layer* layer, db_->gis().GetLayer(layer_name));
   if (layer->kind() != gis::GeometryKind::kPolygon) {
@@ -606,6 +671,7 @@ Result<FactTable> QueryEngine::TrajectoryAggregates(
         }
         return Status::OK();
       }));
+  query_obs.set_rows_matched(out.num_rows());
   return out;
 }
 
@@ -613,6 +679,7 @@ Result<std::vector<ObjectId>> QueryEngine::ObjectsPossiblyWithin(
     const std::string& moft_name, const std::string& layer_name,
     const GeometryPredicate& pred, double vmax) const {
   stats_ = EngineStats{};
+  QueryObs query_obs("objects_possibly_within", &stats_);
   PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
   PIET_ASSIGN_OR_RETURN(const Layer* layer, db_->gis().GetLayer(layer_name));
   if (layer->kind() != gis::GeometryKind::kPolygon) {
@@ -670,6 +737,7 @@ Result<std::vector<ObjectId>> QueryEngine::ObjectsPossiblyWithin(
   if (!failed.ok()) {
     return failed;
   }
+  query_obs.set_rows_matched(out.size());
   return out;
 }
 
@@ -678,6 +746,7 @@ Result<std::vector<ObjectId>> QueryEngine::ObjectsAlwaysWithin(
     const GeometryPredicate& pred, const TimePredicate& when,
     bool trajectory_semantics) const {
   stats_ = EngineStats{};
+  QueryObs query_obs("objects_always_within", &stats_);
   PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(moft_name));
   PIET_ASSIGN_OR_RETURN(const Layer* layer, db_->gis().GetLayer(layer_name));
   PIET_ASSIGN_OR_RETURN(std::vector<GeometryId> qualifying,
@@ -767,6 +836,7 @@ Result<std::vector<ObjectId>> QueryEngine::ObjectsAlwaysWithin(
   if (!failed.ok()) {
     return failed;
   }
+  query_obs.set_rows_matched(out.size());
   return out;
 }
 

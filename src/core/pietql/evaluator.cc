@@ -8,6 +8,7 @@
 #include "analysis/query_check.h"
 #include "common/parallel.h"
 #include "core/pietql/parser.h"
+#include "obs/metrics.h"
 #include "core/region.h"
 #include "geometry/segment_polygon.h"
 #include "moving/traj_ops.h"
@@ -194,7 +195,7 @@ struct TupleChunk {
 }  // namespace
 
 Result<std::vector<GeometryId>> Evaluator::EvaluateGeoPart(
-    const GeoQuery& geo) const {
+    const GeoQuery& geo, obs::TraceCollector* trace) const {
   if (geo.select.empty()) {
     return Status::InvalidArgument("geometric part selects no layer");
   }
@@ -209,6 +210,13 @@ Result<std::vector<GeometryId>> Evaluator::EvaluateGeoPart(
           "conditions must constrain the result layer '" + result_layer +
           "' (got '" + cond.a.name + "')");
     }
+    obs::TraceSpan cond_span(
+        trace, cond.kind == GeoCondition::Kind::kAttrCompare
+                   ? "geo_condition:attr_compare"
+               : cond.kind == GeoCondition::Kind::kIntersection
+                   ? "geo_condition:intersection"
+                   : "geo_condition:contains");
+    cond_span.Attr("candidates_in", static_cast<int64_t>(current.size()));
     std::vector<GeometryId> next;
     switch (cond.kind) {
       case GeoCondition::Kind::kAttrCompare: {
@@ -249,19 +257,48 @@ Result<std::vector<GeometryId>> Evaluator::EvaluateGeoPart(
         break;
       }
     }
+    cond_span.Attr("candidates_out", static_cast<int64_t>(next.size()));
     current = std::move(next);
   }
   return current;
 }
 
 Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
+  return EvaluateImpl(query, nullptr);
+}
+
+Result<ProfiledResult> Evaluator::EvaluateProfiled(const Query& query) const {
+  obs::TraceCollector trace("query");
+  PIET_ASSIGN_OR_RETURN(QueryResult result, EvaluateImpl(query, &trace));
+  ProfiledResult out;
+  out.result = std::move(result);
+  out.profile = trace.Finish();
+  return out;
+}
+
+Result<QueryResult> Evaluator::EvaluateImpl(const Query& query,
+                                            obs::TraceCollector* trace) const {
+  // Passive registry metrics honor the PIET_OBS gate; the span tree is
+  // gated only by the collector (EXPLAIN ANALYZE works with PIET_OBS=0).
+  const bool obs_on = obs::Enabled();
+  obs::ScopedTimer latency(
+      obs_on ? &obs::MetricsRegistry::Global().GetHistogram(
+                   "pietql.query.latency")
+             : nullptr);
+  if (obs_on) {
+    obs::MetricsRegistry::Global().GetCounter("pietql.queries").Add(1);
+  }
+
   QueryResult result;
   if (check_mode_ != analysis::CheckMode::kOff) {
+    obs::TraceSpan analyze_span(trace, "analyze");
     analysis::QueryContext context;
     context.gis = &db_->gis();
     context.moft_names = db_->MoftNames();
     analysis::DiagnosticList diagnostics =
         analysis::AnalyzeQuery(context, query);
+    analyze_span.Attr("diagnostics",
+                      static_cast<int64_t>(diagnostics.size()));
     if (check_mode_ == analysis::CheckMode::kStrict &&
         diagnostics.HasErrors()) {
       return diagnostics.ToStatus();
@@ -270,7 +307,14 @@ Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
     result.diagnostics = std::move(diagnostics);
   }
   result.result_layer = query.geo.select.front().name;
-  PIET_ASSIGN_OR_RETURN(result.geometry_ids, EvaluateGeoPart(query.geo));
+  {
+    obs::TraceSpan geo_span(trace, "geo_filter");
+    geo_span.Attr("layer", result.result_layer);
+    geo_span.Attr("conditions", static_cast<int64_t>(query.geo.where.size()));
+    PIET_ASSIGN_OR_RETURN(result.geometry_ids,
+                          EvaluateGeoPart(query.geo, trace));
+    geo_span.Attr("ids", static_cast<int64_t>(result.geometry_ids.size()));
+  }
   if (!query.mo) {
     return result;
   }
@@ -317,11 +361,21 @@ Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
         "spatial moving-object conditions need a polygon result layer");
   }
 
+  const char* clause = passes_through      ? "passes_through"
+                       : near_cond != nullptr ? "near"
+                       : inside_result      ? "inside_result"
+                                            : "time_only";
+  if (obs_on) {
+    obs::MetricsRegistry::Global()
+        .GetCounter(std::string("pietql.clause.") + clause)
+        .Add(1);
+  }
   // Build the region C as (Oid, t) tuples. Each branch fans its loop out
   // across the pool in deterministic chunks merged in chunk order, so the
   // tuple sequence is identical to the serial loop for any thread count.
   const int threads = parallel::ResolveThreads(num_threads_);
   std::vector<std::pair<ObjectId, double>> tuples;
+  size_t rows_scanned = 0;
   Status fanout_failed;
   auto merge_tuples = [&](TupleChunk&& chunk) {
     if (fanout_failed.ok() && !chunk.status.ok()) {
@@ -332,6 +386,13 @@ Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
     }
   };
 
+  // The span closes before aggregation so moft_intersect and aggregate
+  // stay siblings in the tree.
+  {
+  obs::TraceSpan intersect_span(trace, "moft_intersect");
+  intersect_span.Attr("clause", clause);
+  intersect_span.Attr("moft", mo.moft);
+
   if (passes_through) {
     // Trajectory semantics: each maximal inside interval contributes a
     // tuple stamped at its entry time. The qualifying polygons are
@@ -340,6 +401,7 @@ Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
     // the pool.
     const WantedPolygons wanted = ResolveWanted(*layer, result.geometry_ids);
     const moving::MoftColumns& cols = moft->Columns();
+    rows_scanned = cols.size();
     parallel::OrderedReduce<TupleChunk>(
         threads, cols.spans.size(),
         [&](size_t /*chunk*/, size_t begin, size_t end, TupleChunk* chunk) {
@@ -389,6 +451,7 @@ Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
     nodes->WarmIndex();
     double radius = near_cond->radius;
     const moving::SampleView samples = moft->Scan();
+    rows_scanned = samples.size();
     parallel::OrderedReduce<TupleChunk>(
         threads, samples.size(),
         [&](size_t /*chunk*/, size_t begin, size_t end, TupleChunk* chunk) {
@@ -423,6 +486,7 @@ Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
           cls, db_->ClassifySamples(mo.moft, result.result_layer));
     }
     const moving::SampleView samples = cls ? cls->samples : moft->Scan();
+    rows_scanned = samples.size();
     parallel::OrderedReduce<TupleChunk>(
         threads, samples.size(),
         [&](size_t /*chunk*/, size_t begin, size_t end, TupleChunk* chunk) {
@@ -452,6 +516,7 @@ Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
         merge_tuples);
   } else {
     const moving::SampleView samples = moft->Scan();
+    rows_scanned = samples.size();
     parallel::OrderedReduce<TupleChunk>(
         threads, samples.size(),
         [&](size_t /*chunk*/, size_t begin, size_t end, TupleChunk* chunk) {
@@ -467,8 +532,23 @@ Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
   if (!fanout_failed.ok()) {
     return fanout_failed;
   }
+  intersect_span.Attr("rows_scanned", static_cast<uint64_t>(rows_scanned));
+  intersect_span.Attr("tuples", static_cast<uint64_t>(tuples.size()));
+  }  // intersect_span
+
+  if (obs_on) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("pietql.tuples")
+        .Add(static_cast<int64_t>(tuples.size()));
+  }
 
   // Aggregate.
+  obs::TraceSpan agg_span(trace, "aggregate");
+  agg_span.Attr("kind",
+                mo.agg.kind == MoAggregate::Kind::kCountAll ? "count_all"
+                : mo.agg.kind == MoAggregate::Kind::kCountDistinctOid
+                    ? "count_distinct_oid"
+                    : "rate_per_hour");
   auto aggregate_tuples =
       [&](const std::vector<std::pair<ObjectId, double>>& rows)
       -> Result<Value> {
@@ -514,6 +594,7 @@ Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
                                                        TimePoint(tuple.second)));
     groups[key].push_back(tuple);
   }
+  agg_span.Attr("groups", static_cast<uint64_t>(groups.size()));
   FactTable table = FactTable::Make({*mo.group_by_level}, {"value"});
   for (const auto& [key, rows] : groups) {
     PIET_ASSIGN_OR_RETURN(Value agg, aggregate_tuples(rows));
@@ -526,6 +607,23 @@ Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
 Result<QueryResult> Evaluator::EvaluateString(std::string_view text) const {
   PIET_ASSIGN_OR_RETURN(Query query, Parse(text));
   return Evaluate(query);
+}
+
+Result<ProfiledResult> Evaluator::EvaluateStringProfiled(
+    std::string_view text) const {
+  obs::TraceCollector trace("query");
+  Result<Query> parsed = [&]() -> Result<Query> {
+    obs::TraceSpan parse_span(&trace, "parse");
+    parse_span.Attr("bytes", static_cast<int64_t>(text.size()));
+    return Parse(text);
+  }();
+  PIET_RETURN_NOT_OK(parsed.status());
+  PIET_ASSIGN_OR_RETURN(QueryResult result,
+                        EvaluateImpl(parsed.ValueOrDie(), &trace));
+  ProfiledResult out;
+  out.result = std::move(result);
+  out.profile = trace.Finish();
+  return out;
 }
 
 }  // namespace piet::core::pietql

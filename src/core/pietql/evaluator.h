@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "core/database.h"
 #include "core/pietql/ast.h"
+#include "obs/trace.h"
 #include "olap/fact_table.h"
 
 namespace piet::core::pietql {
@@ -26,6 +27,16 @@ struct QueryResult {
   analysis::DiagnosticList diagnostics;
 
   std::string ToString() const;
+};
+
+/// EXPLAIN ANALYZE output: the ordinary query result plus the span tree of
+/// the evaluation that produced it (parse → analyze → geo_filter →
+/// moft_intersect → aggregate, with per-stage attributes). `result` is
+/// bit-identical to what Evaluate returns for the same query — profiling
+/// only adds clock reads around the stages, never changes the data path.
+struct ProfiledResult {
+  QueryResult result;
+  obs::SpanNode profile;
 };
 
 /// Evaluates Piet-QL queries against a GeoOlapDatabase, following the
@@ -61,9 +72,22 @@ class Evaluator {
   /// Parses and evaluates in one step.
   Result<QueryResult> EvaluateString(std::string_view text) const;
 
+  /// EXPLAIN ANALYZE: evaluates exactly like Evaluate (bit-identical
+  /// result) while recording a span tree of the pipeline stages. Profiling
+  /// is explicit — it works regardless of the PIET_OBS gate (the collector
+  /// is the gate; passive registry counters still honor PIET_OBS).
+  Result<ProfiledResult> EvaluateProfiled(const Query& query) const;
+
+  /// Parses (under a "parse" span) and profiles in one step.
+  Result<ProfiledResult> EvaluateStringProfiled(std::string_view text) const;
+
  private:
+  /// The one evaluation path: Evaluate passes a null collector (spans
+  /// no-op), EvaluateProfiled passes a live one.
+  Result<QueryResult> EvaluateImpl(const Query& query,
+                                   obs::TraceCollector* trace) const;
   Result<std::vector<gis::GeometryId>> EvaluateGeoPart(
-      const GeoQuery& geo) const;
+      const GeoQuery& geo, obs::TraceCollector* trace) const;
   Result<bool> ElementsIntersect(const gis::Layer& a, gis::GeometryId ida,
                                  const gis::Layer& b,
                                  gis::GeometryId idb) const;

@@ -5,8 +5,23 @@
 
 #include "common/parallel.h"
 #include "geometry/clip.h"
+#include "obs/metrics.h"
 
 namespace piet::gis {
+
+namespace {
+
+/// One build counter/gauge flush, shared by both construction strategies.
+void RecordOverlayBuild(size_t cells) {
+  if (!obs::Enabled()) {
+    return;
+  }
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("overlay.builds").Add(1);
+  registry.GetGauge("overlay.cells").Set(static_cast<int64_t>(cells));
+}
+
+}  // namespace
 
 using geometry::BoundingBox;
 using geometry::MakeRectangle;
@@ -16,6 +31,10 @@ using geometry::Ring;
 
 Result<OverlayDb> OverlayDb::BuildConvex(std::vector<const Layer*> layers,
                                          int threads) {
+  obs::ScopedTimer build_timer(
+      obs::Enabled()
+          ? &obs::MetricsRegistry::Global().GetHistogram("overlay.build.latency")
+          : nullptr);
   threads = parallel::ResolveThreads(threads);
   OverlayDb db;
   db.layers_ = std::move(layers);
@@ -120,11 +139,16 @@ Result<OverlayDb> OverlayDb::BuildConvex(std::vector<const Layer*> layers,
 
   db.ResolveCandidatePolygons();
   db.BuildCellIndex();
+  RecordOverlayBuild(db.cells_.size());
   return db;
 }
 
 Result<OverlayDb> OverlayDb::BuildQuadtree(std::vector<const Layer*> layers,
                                            int max_depth, int threads) {
+  obs::ScopedTimer build_timer(
+      obs::Enabled()
+          ? &obs::MetricsRegistry::Global().GetHistogram("overlay.build.latency")
+          : nullptr);
   threads = parallel::ResolveThreads(threads);
   OverlayDb db;
   db.layers_ = std::move(layers);
@@ -242,6 +266,7 @@ Result<OverlayDb> OverlayDb::BuildQuadtree(std::vector<const Layer*> layers,
 
   db.ResolveCandidatePolygons();
   db.BuildCellIndex();
+  RecordOverlayBuild(db.cells_.size());
   return db;
 }
 
@@ -307,13 +332,17 @@ std::vector<GeometryId> OverlayDb::LocateInLayer(Point p, size_t layer) const {
 }
 
 void OverlayDb::LocateInLayerInto(Point p, size_t layer,
-                                  std::vector<GeometryId>* out) const {
+                                  std::vector<GeometryId>* out,
+                                  LocateWork* work) const {
   out->clear();
   if (!cell_index_ || layer >= layers_.size()) {
     return;
   }
   cell_index_->VisitPoint(p, [&](index::GridIndex::Id raw) {
     const Cell& cell = cells_[static_cast<size_t>(raw)];
+    if (work != nullptr) {
+      ++work->cells_visited;
+    }
     if (!cell.polygon.Contains(p)) {
       return;
     }
@@ -325,6 +354,9 @@ void OverlayDb::LocateInLayerInto(Point p, size_t layer,
     for (size_t i = 0; i < cell.candidates.size(); ++i) {
       if (cell.candidates[i].layer != layer) {
         continue;
+      }
+      if (work != nullptr) {
+        ++work->candidates_tested;
       }
       const Polygon* pg = cell.candidate_polys[i];
       if (pg != nullptr && pg->Contains(p)) {
@@ -348,18 +380,24 @@ BatchHits OverlayDb::LocateBatch(std::span<const Point> points, size_t layer,
   out.offsets.push_back(0);
 
   // Per-chunk hits with chunk-local offsets; the ordered merge rebases
-  // them, so the flat result is independent of the thread count.
+  // them, so the flat result is independent of the thread count. Work
+  // counters accumulate chunk-locally and flush once per batch, keeping
+  // the per-point loop free of shared writes.
+  const bool observed = obs::Enabled();
+  LocateWork total_work;
   struct ChunkOut {
     std::vector<uint32_t> counts;
     std::vector<GeometryId> ids;
+    LocateWork work;
   };
   parallel::OrderedReduce<ChunkOut>(
       threads, points.size(),
       [&](size_t /*chunk*/, size_t begin, size_t end, ChunkOut* chunk_out) {
         chunk_out->counts.reserve(end - begin);
         std::vector<GeometryId> hits;  // One scratch buffer per chunk.
+        LocateWork* work = observed ? &chunk_out->work : nullptr;
         for (size_t i = begin; i < end; ++i) {
-          LocateInLayerInto(points[i], layer, &hits);
+          LocateInLayerInto(points[i], layer, &hits, work);
           chunk_out->counts.push_back(static_cast<uint32_t>(hits.size()));
           chunk_out->ids.insert(chunk_out->ids.end(), hits.begin(),
                                 hits.end());
@@ -373,7 +411,17 @@ BatchHits OverlayDb::LocateBatch(std::span<const Point> points, size_t layer,
         }
         out.ids.insert(out.ids.end(), chunk_out.ids.begin(),
                        chunk_out.ids.end());
+        total_work += chunk_out.work;
       });
+  if (observed) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("overlay.locate.points")
+        .Add(static_cast<int64_t>(points.size()));
+    registry.GetCounter("overlay.locate.cells_visited")
+        .Add(static_cast<int64_t>(total_work.cells_visited));
+    registry.GetCounter("overlay.locate.candidates_tested")
+        .Add(static_cast<int64_t>(total_work.candidates_tested));
+  }
   return out;
 }
 

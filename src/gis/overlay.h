@@ -45,6 +45,21 @@ struct BatchHits {
   std::vector<GeometryId> ids;
 };
 
+/// Work counters of point location: overlay cells probed via the grid and
+/// exact candidate-polygon tests performed. LocateBatch accumulates one
+/// instance per chunk and flushes the totals to the metrics registry, so
+/// enabled-mode counts stay exact for any thread count.
+struct LocateWork {
+  size_t cells_visited = 0;
+  size_t candidates_tested = 0;
+
+  LocateWork& operator+=(const LocateWork& other) {
+    cells_visited += other.cells_visited;
+    candidates_tested += other.candidates_tested;
+    return *this;
+  }
+};
+
 /// The Piet overlay precomputation of Sec. 5: a subdivision of the plane
 /// into *subpolygons* (cells), each labeled with every layer geometry that
 /// fully covers it. Point location against the overlay then answers, in one
@@ -87,9 +102,11 @@ class OverlayDb {
   /// end-to-end, and the candidate-probe loop tests pre-resolved polygon
   /// pointers — no per-call allocation anywhere). The hot path of the
   /// Sec. 5 strategy — one grid probe plus exact tests on the few
-  /// candidate cells, and the unit of work LocateBatch fans out.
+  /// candidate cells, and the unit of work LocateBatch fans out. A non-null
+  /// `work` accumulates the cells probed / candidates tested (metrics).
   void LocateInLayerInto(geometry::Point p, size_t layer,
-                         std::vector<GeometryId>* out) const;
+                         std::vector<GeometryId>* out,
+                         LocateWork* work = nullptr) const;
 
   /// Batched single-layer point location across the thread pool: one
   /// LocateInLayerInto per point, with one scratch buffer per chunk reused

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace piet::moving {
 
@@ -59,6 +60,11 @@ Moft& Moft::operator=(Moft&& other) noexcept {
 Status Moft::Add(ObjectId oid, TimePoint t, geometry::Point pos) {
   auto [it, inserted] = index_.try_emplace(SampleKey{oid, t.seconds}, pos);
   if (!inserted) {
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("moft.duplicates_rejected")
+          .Add(1);
+    }
     if (it->second == pos) {
       return Status::OK();  // Idempotent duplicate.
     }
@@ -80,6 +86,12 @@ const MoftColumns& Moft::EnsureSealed() const {
 }
 
 void Moft::SealLocked() const {
+  if (obs::Enabled()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("moft.seals").Add(1);
+    registry.GetCounter("moft.rows_staged")
+        .Add(static_cast<int64_t>(staging_.size()));
+  }
   // Append the staged rows to the columns.
   const size_t n = cols_.size() + staging_.size();
   cols_.oid.reserve(n);
@@ -111,6 +123,9 @@ void Moft::SealLocked() const {
     }
   }
   if (!sorted) {
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Global().GetCounter("moft.resorts").Add(1);
+    }
     std::vector<size_t> perm(n);
     std::iota(perm.begin(), perm.end(), 0);
     std::sort(perm.begin(), perm.end(), key_less);

@@ -1,0 +1,262 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace piet::obs {
+
+namespace internal {
+
+std::atomic<int> g_enabled{-1};
+
+bool InitEnabledFromEnv() {
+  const char* env = std::getenv("PIET_OBS");
+  bool on = env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0 &&
+            std::strcmp(env, "false") != 0 && std::strcmp(env, "off") != 0;
+  // First writer wins so a concurrent SetEnabled is never overwritten.
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, on ? 1 : 0,
+                                    std::memory_order_relaxed);
+  return g_enabled.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace internal
+
+void SetEnabled(bool on) {
+  internal::g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::ResetValue() {
+  for (Shard& shard : shards_) {
+    shard.v.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::RecordNanos(int64_t ns) {
+  if (!Enabled()) {
+    return;
+  }
+  size_t bucket = 0;
+  while (bucket < kBucketBoundsNs.size() && ns > kBucketBoundsNs[bucket]) {
+    ++bucket;
+  }
+  Shard& shard = shards_[ThisThreadShard()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int64_t Histogram::SumNanos() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sum_ns.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<uint64_t> Histogram::Buckets() const {
+  std::vector<uint64_t> out(kNumBuckets, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      out[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void Histogram::ResetValue() {
+  for (Shard& shard : shards_) {
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+int64_t MetricsSnapshot::counter(std::string_view name) const {
+  auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+int64_t MetricsSnapshot::gauge(std::string_view name) const {
+  auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? 0 : it->second;
+}
+
+const HistogramData* MetricsSnapshot::histogram(std::string_view name) const {
+  auto it = histograms.find(std::string(name));
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters) {
+    os << "counter " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    os << "gauge " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, hist] : histograms) {
+    double mean_us =
+        hist.count == 0
+            ? 0.0
+            : static_cast<double>(hist.sum_ns) /
+                  (1000.0 * static_cast<double>(hist.count));
+    os << "histogram " << name << " count=" << hist.count
+       << " sum_ns=" << hist.sum_ns << " mean_us=" << mean_us << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void AppendJsonString(std::ostringstream* os, std::string_view s) {
+  *os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      *os << '\\';
+    }
+    *os << c;
+  }
+  *os << '"';
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    AppendJsonString(&os, name);
+    os << ":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    AppendJsonString(&os, name);
+    os << ":" << value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    AppendJsonString(&os, name);
+    os << ":{\"count\":" << hist.count << ",\"sum_ns\":" << hist.sum_ns
+       << ",\"buckets\":[";
+    for (size_t i = 0; i < hist.buckets.size(); ++i) {
+      if (i > 0) {
+        os << ",";
+      }
+      os << hist.buckets[i];
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    HistogramData data;
+    data.count = hist->Count();
+    data.sum_ns = hist->SumNanos();
+    data.buckets = hist->Buckets();
+    snap.histograms.emplace(name, std::move(data));
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->ResetValue();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->ResetValue();
+  }
+  for (auto& [name, hist] : histograms_) {
+    hist->ResetValue();
+  }
+}
+
+}  // namespace piet::obs

@@ -1,0 +1,207 @@
+#ifndef PIET_OBS_METRICS_H_
+#define PIET_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace piet::obs {
+
+/// Process-wide observability switch. Reads the PIET_OBS environment
+/// variable once on first use ("0", "false", "off" or unset = disabled;
+/// anything else = enabled); SetEnabled overrides it for the rest of the
+/// process. Every instrumentation site in the codebase is gated on this,
+/// so the disabled cost is one relaxed load + branch per site — and the
+/// sites live at query/seal/build granularity, never inside a row loop.
+namespace internal {
+extern std::atomic<int> g_enabled;  // -1 = not yet read from the env.
+bool InitEnabledFromEnv();
+}  // namespace internal
+
+inline bool Enabled() {
+  int v = internal::g_enabled.load(std::memory_order_relaxed);
+  if (v >= 0) {
+    return v != 0;
+  }
+  return internal::InitEnabledFromEnv();
+}
+
+void SetEnabled(bool on);
+
+/// Number of per-thread shards a metric's storage is split across. Threads
+/// are assigned a fixed shard on first use (sequential id mod kShards), so
+/// the write path is a relaxed fetch_add on a line other cores rarely
+/// touch; readers sum the shards.
+inline constexpr size_t kShards = 16;
+
+/// The shard of the calling thread (stable for the thread's lifetime).
+size_t ThisThreadShard();
+
+/// Fixed latency-histogram bucket bounds in nanoseconds: powers of 4 from
+/// 1us to ~4.3s, plus an overflow bucket. Bucket i counts records with
+/// ns <= kBucketBoundsNs[i] (and > the previous bound).
+inline constexpr size_t kNumBuckets = 13;
+inline constexpr std::array<int64_t, kNumBuckets - 1> kBucketBoundsNs = {
+    1'000,          4'000,          16'000,        64'000,
+    256'000,        1'024'000,      4'096'000,     16'384'000,
+    65'536'000,     262'144'000,    1'048'576'000, 4'294'967'296,
+};
+
+/// A monotone named counter. Add is a relaxed atomic add on the calling
+/// thread's shard when observability is enabled, a no-op otherwise.
+class Counter {
+ public:
+  void Add(int64_t n) {
+    if (!Enabled()) {
+      return;
+    }
+    shards_[ThisThreadShard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards. Concurrent adds may or may not be included
+  /// (relaxed reads); exact once writers are quiescent.
+  int64_t Value() const;
+
+  void ResetValue();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// A last-write-wins instantaneous value (e.g. "overlay cells", "chunk
+/// imbalance of the last plan"). Not sharded — sets are rare.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (!Enabled()) {
+      return;
+    }
+    v_.store(v, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+  void ResetValue() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// A fixed-bucket latency histogram (bounds in kBucketBoundsNs). Record is
+/// three relaxed adds on the calling thread's shard when enabled.
+class Histogram {
+ public:
+  void RecordNanos(int64_t ns);
+
+  uint64_t Count() const;
+  int64_t SumNanos() const;
+  /// Merged bucket counts, size kNumBuckets (last = overflow).
+  std::vector<uint64_t> Buckets() const;
+
+  void ResetValue();
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<int64_t> sum_ns{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// RAII timer recording its scope's wall time into a histogram. The
+/// enabled check happens once at construction; a scope timed while
+/// disabled records nothing even if observability flips on meanwhile.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist)
+      : hist_(Enabled() ? hist : nullptr) {
+    if (hist_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (hist_ != nullptr) {
+      hist_->RecordNanos(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count());
+    }
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Merged point-in-time values of every registered metric, with
+/// deterministic (name-sorted) iteration for the exporters.
+struct HistogramData {
+  uint64_t count = 0;
+  int64_t sum_ns = 0;
+  std::vector<uint64_t> buckets;  // size kNumBuckets, last = overflow.
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// 0 / nullptr when the metric was never registered.
+  int64_t counter(std::string_view name) const;
+  int64_t gauge(std::string_view name) const;
+  const HistogramData* histogram(std::string_view name) const;
+
+  /// Human-readable one-metric-per-line dump.
+  std::string ToText() const;
+  /// Stable machine-readable dump: {"counters":{...},"gauges":{...},
+  /// "histograms":{"name":{"count":n,"sum_ns":n,"buckets":[...]}}}.
+  std::string ToJson() const;
+};
+
+/// The process-wide registry of named metrics. Registration (Get*) takes a
+/// mutex once per call site — callers on hot paths cache the returned
+/// reference; handles stay valid for the process lifetime (Reset zeroes
+/// values but never invalidates a handle).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+  std::string DumpText() const { return Snapshot().ToText(); }
+  std::string DumpJson() const { return Snapshot().ToJson(); }
+
+  /// Zeroes every value, keeping registrations (and handles) intact.
+  /// Tests only; callers must be quiescent.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace piet::obs
+
+#endif  // PIET_OBS_METRICS_H_

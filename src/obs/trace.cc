@@ -1,0 +1,209 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace piet::obs {
+
+namespace {
+
+void AppendEscaped(std::ostringstream* os, std::string_view s) {
+  *os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      *os << '\\';
+    }
+    *os << c;
+  }
+  *os << '"';
+}
+
+/// Fixed-format microseconds with 3 decimals — deterministic across
+/// platforms for golden tests.
+std::string Micros(int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  return buf;
+}
+
+void AppendChromeEvents(const SpanNode& node, bool* first,
+                        std::ostringstream* os) {
+  if (!*first) {
+    *os << ",";
+  }
+  *first = false;
+  *os << "{\"name\":";
+  AppendEscaped(os, node.name);
+  *os << ",\"ph\":\"X\",\"ts\":" << Micros(node.start_ns)
+      << ",\"dur\":" << Micros(node.duration_ns) << ",\"pid\":1,\"tid\":1";
+  if (!node.attrs.empty()) {
+    *os << ",\"args\":{";
+    for (size_t i = 0; i < node.attrs.size(); ++i) {
+      if (i > 0) {
+        *os << ",";
+      }
+      AppendEscaped(os, node.attrs[i].first);
+      *os << ":";
+      AppendEscaped(os, node.attrs[i].second);
+    }
+    *os << "}";
+  }
+  *os << "}";
+  for (const SpanNode& child : node.children) {
+    AppendChromeEvents(child, first, os);
+  }
+}
+
+std::string HumanDuration(int64_t ns) {
+  char buf[32];
+  if (ns < 1'000) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns));
+  } else if (ns < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus",
+                  static_cast<double>(ns) / 1e3);
+  } else if (ns < 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms",
+                  static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+void AppendPretty(const SpanNode& node, int depth, std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) {
+    *os << "  ";
+  }
+  *os << node.name << "  " << HumanDuration(node.duration_ns);
+  if (!node.attrs.empty()) {
+    *os << "  [";
+    for (size_t i = 0; i < node.attrs.size(); ++i) {
+      if (i > 0) {
+        *os << " ";
+      }
+      *os << node.attrs[i].first << "=" << node.attrs[i].second;
+    }
+    *os << "]";
+  }
+  *os << "\n";
+  for (const SpanNode& child : node.children) {
+    AppendPretty(child, depth + 1, os);
+  }
+}
+
+}  // namespace
+
+const SpanNode* SpanNode::Find(std::string_view span_name) const {
+  if (name == span_name) {
+    return this;
+  }
+  for (const SpanNode& child : children) {
+    if (const SpanNode* hit = child.Find(span_name)) {
+      return hit;
+    }
+  }
+  return nullptr;
+}
+
+std::string_view SpanNode::Attr(std::string_view key) const {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) {
+      return v;
+    }
+  }
+  return {};
+}
+
+std::string SpanNode::ToPrettyString() const {
+  std::ostringstream os;
+  AppendPretty(*this, 0, &os);
+  return os.str();
+}
+
+std::string ToChromeTraceJson(const SpanNode& root) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  AppendChromeEvents(root, &first, &os);
+  os << "]}";
+  return os.str();
+}
+
+void WriteChromeTrace(const SpanNode& root, std::ostream& os) {
+  os << ToChromeTraceJson(root);
+}
+
+TraceCollector::TraceCollector(std::string root_name)
+    : epoch_(std::chrono::steady_clock::now()) {
+  root_.name = std::move(root_name);
+  stack_.push_back(&root_);
+}
+
+int64_t TraceCollector::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+SpanNode TraceCollector::Finish() {
+  root_.duration_ns = NowNanos();
+  stack_.clear();
+  finished_ = true;
+  return std::move(root_);
+}
+
+TraceSpan::TraceSpan(TraceCollector* collector, std::string_view name)
+    : collector_(collector) {
+  if (collector_ == nullptr || collector_->finished_ ||
+      collector_->stack_.empty()) {
+    collector_ = nullptr;
+    return;
+  }
+  SpanNode* parent = collector_->stack_.back();
+  parent->children.emplace_back();
+  node_ = &parent->children.back();
+  node_->name = std::string(name);
+  node_->start_ns = collector_->NowNanos();
+  collector_->stack_.push_back(node_);
+}
+
+TraceSpan::~TraceSpan() {
+  if (collector_ == nullptr || node_ == nullptr) {
+    return;
+  }
+  node_->duration_ns = collector_->NowNanos() - node_->start_ns;
+  if (!collector_->stack_.empty() && collector_->stack_.back() == node_) {
+    collector_->stack_.pop_back();
+  }
+}
+
+void TraceSpan::Attr(std::string_view key, std::string_view value) {
+  if (node_ != nullptr) {
+    node_->attrs.emplace_back(std::string(key), std::string(value));
+  }
+}
+
+void TraceSpan::Attr(std::string_view key, int64_t value) {
+  if (node_ != nullptr) {
+    node_->attrs.emplace_back(std::string(key), std::to_string(value));
+  }
+}
+
+void TraceSpan::Attr(std::string_view key, uint64_t value) {
+  if (node_ != nullptr) {
+    node_->attrs.emplace_back(std::string(key), std::to_string(value));
+  }
+}
+
+void TraceSpan::Attr(std::string_view key, double value) {
+  if (node_ != nullptr) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", value);
+    node_->attrs.emplace_back(std::string(key), buf);
+  }
+}
+
+}  // namespace piet::obs

@@ -1,0 +1,95 @@
+#ifndef PIET_OBS_TRACE_H_
+#define PIET_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace piet::obs {
+
+/// One node of a per-query span tree: a named, timed phase with key/value
+/// attributes and strictly nested children. Times are nanoseconds relative
+/// to the collector's epoch (the root always starts at 0), so a tree is
+/// self-contained and serializable.
+struct SpanNode {
+  std::string name;
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::vector<SpanNode> children;
+
+  int64_t end_ns() const { return start_ns + duration_ns; }
+
+  /// Depth-first search by span name (this node included); nullptr when
+  /// absent.
+  const SpanNode* Find(std::string_view span_name) const;
+
+  /// The attribute value, or empty when absent.
+  std::string_view Attr(std::string_view key) const;
+
+  /// Indented human-readable rendering ("EXPLAIN ANALYZE" output).
+  std::string ToPrettyString() const;
+};
+
+/// Renders a span tree as Chrome trace_event JSON (complete "X" events,
+/// preorder, microsecond timestamps) — loadable in chrome://tracing or
+/// Perfetto.
+std::string ToChromeTraceJson(const SpanNode& root);
+void WriteChromeTrace(const SpanNode& root, std::ostream& os);
+
+/// Builds one query's span tree. Single-threaded by design: spans are
+/// opened/closed on the collecting thread only (parallel fan-outs happen
+/// *inside* a span), which keeps the tree strictly nested without locks.
+/// The collector's presence is the gate — code paths take a
+/// TraceCollector* and pass nullptr when not profiling, so the unprofiled
+/// cost is one pointer test per site.
+class TraceCollector {
+ public:
+  explicit TraceCollector(std::string root_name);
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Closes the root span and returns the finished tree. Every child span
+  /// must already be closed; the collector must not be used afterwards.
+  SpanNode Finish();
+
+  /// Nanoseconds since the collector was created.
+  int64_t NowNanos() const;
+
+ private:
+  friend class TraceSpan;
+  std::chrono::steady_clock::time_point epoch_;
+  SpanNode root_;
+  /// Open spans, outermost first; stack_[0] is always &root_. Only the top
+  /// of the stack can gain children, so parent pointers stay stable.
+  std::vector<SpanNode*> stack_;
+  bool finished_ = false;
+};
+
+/// RAII span: opens a child of the collector's innermost open span, closes
+/// (and timestamps) it on destruction. A null collector makes every
+/// operation a no-op.
+class TraceSpan {
+ public:
+  TraceSpan(TraceCollector* collector, std::string_view name);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+  void Attr(std::string_view key, std::string_view value);
+  void Attr(std::string_view key, int64_t value);
+  void Attr(std::string_view key, uint64_t value);
+  void Attr(std::string_view key, double value);
+
+ private:
+  TraceCollector* collector_;
+  SpanNode* node_ = nullptr;
+};
+
+}  // namespace piet::obs
+
+#endif  // PIET_OBS_TRACE_H_

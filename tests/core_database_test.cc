@@ -145,6 +145,54 @@ TEST_F(DatabaseTest, Type2NumericConditionInRegion) {
   EXPECT_EQ(ids.ValueOrDie()[0], scenario_.low_income_neighborhood);
 }
 
+TEST_F(DatabaseTest, MoveTransfersClassificationCache) {
+  GeoOlapDatabase& db = *scenario_.db;
+  ASSERT_TRUE(db.BuildOverlay({"Ln"}).ok());
+  auto before = db.ClassifySamples("FMbus", "Ln");
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(db.classification_cache_size(), 1u);
+  const uint64_t epoch = db.overlay_epoch();
+
+  // Move construction: the cache entry, its epoch, and the overlay travel
+  // together; the moved-from database keeps a valid-but-empty cache (its
+  // MOFTs are gone, so surviving entries would dangle).
+  GeoOlapDatabase moved(std::move(db));
+  EXPECT_EQ(moved.classification_cache_size(), 1u);
+  EXPECT_EQ(db.classification_cache_size(), 0u);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(moved.overlay_epoch(), epoch);
+
+  // Move-then-use: the cached classification is served (same shared
+  // block, no recomputation) and its sample view still reads the moved
+  // MOFT's columns.
+  auto after = moved.ClassifySamples("FMbus", "Ln");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.ValueOrDie().get(), before.ValueOrDie().get());
+  const auto* moft = moved.GetMoft("FMbus").ValueOrDie();
+  EXPECT_EQ(after.ValueOrDie()->samples.size(), moft->num_samples());
+
+  // Queries against the moved-to database answer as before the move.
+  QueryEngine engine(&moved);
+  auto table = engine.TrajectoryAggregates(
+      "FMbus", "Ln", GeometryPredicate::AttributeLess("income", 1500.0));
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  std::set<int64_t> oids;
+  for (const auto& row : table.ValueOrDie().rows()) {
+    oids.insert(row[0].AsIntUnchecked());
+  }
+  EXPECT_EQ(oids, (std::set<int64_t>{1, 2, 6}));
+
+  // Move assignment transfers the cache the same way.
+  auto scenario2 = workload::BuildFigure1Scenario();
+  ASSERT_TRUE(scenario2.ok());
+  GeoOlapDatabase& target = *scenario2.ValueOrDie().db;
+  target = std::move(moved);
+  EXPECT_EQ(target.classification_cache_size(), 1u);
+  EXPECT_EQ(moved.classification_cache_size(), 0u);  // NOLINT(bugprone-use-after-move)
+  auto assigned = target.ClassifySamples("FMbus", "Ln");
+  ASSERT_TRUE(assigned.ok());
+  EXPECT_EQ(assigned.ValueOrDie().get(), before.ValueOrDie().get());
+}
+
 TEST_F(DatabaseTest, WithinDistanceOfLayerPredicate) {
   // "Neighborhoods within distance d of the river": the river grazes the
   // northern row's bottom edge and the southern row's top edge, so at
