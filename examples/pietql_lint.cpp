@@ -1,0 +1,144 @@
+// Standalone Piet-QL static linter — the command-line front end of the
+// src/analysis/lint/ pass. Lints `.lint` corpus cases (schema model +
+// queries, see analysis/lint/corpus.h for the format) without evaluating
+// anything, and prints structured diagnostics with fix-its.
+//
+// Usage:
+//   pietql_lint [--json] [--figure1] [case.lint ...]
+//
+//   --figure1   lint the paper's six-bus Figure 1 scenario (schema +
+//               canonical queries); must come out clean
+//   --json      print diagnostics as a JSON array instead of text
+//
+// Exit status:
+//   0  every case matched its `expect` set (cases without `expect` lines
+//      must produce no findings) and --figure1, when given, was clean
+//   1  some case missed/overshot its expectations, or a clean case warned
+//   2  usage / IO errors
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/lint/corpus.h"
+#include "analysis/lint/query_lint.h"
+#include "analysis/lint/schema_lint.h"
+#include "analysis/query_check.h"
+#include "core/pietql/parser.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using piet::analysis::DiagnosticList;
+using piet::analysis::lint::CorpusCase;
+
+void PrintDiagnostics(const DiagnosticList& list, bool json) {
+  if (json) {
+    std::printf("%s\n", list.ToJson().c_str());
+    return;
+  }
+  for (const piet::analysis::Diagnostic& d : list) {
+    std::printf("  %s\n", d.ToString().c_str());
+  }
+}
+
+/// Lints the Figure 1 scenario: FromInstance over the live schema, then the
+/// paper's canonical queries. Returns false on any warning-or-worse finding.
+bool LintFigure1(bool json) {
+  auto scenario = piet::workload::BuildFigure1Scenario();
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "figure1 build failed: %s\n",
+                 scenario.status().ToString().c_str());
+    return false;
+  }
+  const auto& db = *scenario.ValueOrDie().db;
+  piet::analysis::lint::SchemaModel model =
+      piet::analysis::lint::SchemaModel::FromInstance(db.gis());
+  DiagnosticList all = piet::analysis::lint::LintSchema(model);
+
+  piet::analysis::QueryContext context;
+  context.gis = &db.gis();
+  context.moft_names = db.MoftNames();
+  const char* kQueries[] = {
+      "SELECT layer.Ln; FROM PietSchema; WHERE ATTR(layer.Ln, income) < 1500"
+      " | SELECT RATE PER HOUR FROM FMbus WHERE INSIDE RESULT AND"
+      " TIME.timeOfDay = 'Morning'",
+      "SELECT layer.Ln; FROM PietSchema;"
+      " | SELECT COUNT(DISTINCT OID) FROM FMbus WHERE PASSES THROUGH RESULT",
+      "SELECT layer.Ln; FROM PietSchema;"
+      " | SELECT COUNT(*) FROM FMbus WHERE NEAR(layer.Ls, 10)"
+      " GROUP BY TIME.hour",
+  };
+  for (const char* text : kQueries) {
+    auto query = piet::core::pietql::Parse(text);
+    if (!query.ok()) {
+      std::fprintf(stderr, "figure1 query failed to parse: %s\n",
+                   query.status().ToString().c_str());
+      return false;
+    }
+    all.Merge(piet::analysis::AnalyzeQuery(context, query.ValueOrDie()));
+    all.Merge(
+        piet::analysis::lint::LintQuery(context, query.ValueOrDie()));
+  }
+  std::printf("figure1: %zu finding(s)\n", all.size());
+  PrintDiagnostics(all, json);
+  bool clean = true;
+  for (const piet::analysis::Diagnostic& d : all) {
+    if (d.severity != piet::analysis::Severity::kNote) {
+      clean = false;
+    }
+  }
+  return clean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool figure1 = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--figure1") == 0) {
+      figure1 = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: pietql_lint [--json] [--figure1] [case.lint ...]\n");
+      return 2;
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (!figure1 && files.empty()) {
+    std::fprintf(stderr,
+                 "usage: pietql_lint [--json] [--figure1] [case.lint ...]\n");
+    return 2;
+  }
+
+  bool all_ok = true;
+  if (figure1 && !LintFigure1(json)) {
+    all_ok = false;
+  }
+  for (const std::string& path : files) {
+    auto parsed = piet::analysis::lint::ParseCorpusFile(path);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    const CorpusCase& c = parsed.ValueOrDie();
+    const DiagnosticList found = piet::analysis::lint::LintCase(c);
+    auto verdict = piet::analysis::lint::CheckExpectations(c, found);
+    std::printf("%s: %zu finding(s)%s\n", c.name.c_str(), found.size(),
+                verdict.ok() ? "" : " [EXPECTATION MISMATCH]");
+    PrintDiagnostics(found, json);
+    if (!verdict.ok()) {
+      std::printf("  %s\n", verdict.ToString().c_str());
+      all_ok = false;
+    }
+  }
+  return all_ok ? 0 : 1;
+}

@@ -1,18 +1,34 @@
 #!/usr/bin/env bash
 # Local gate mirroring CI: warnings-as-errors build, full test suite, and
-# (when the tool is installed) clang-tidy over src/. Exits non-zero on the
-# first failure.
+# (when the tool is installed) clang-tidy over src/, tests/ and bench/.
+# Exits non-zero on the first failure.
+#
+#   scripts/check.sh          full gate (build + ctest + clang-tidy)
+#   scripts/check.sh --lint   build pietql_lint and run it over the
+#                             seeded-defect corpus in tests/lint_corpus/
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-check}"
 JOBS="${JOBS:-$(nproc)}"
+MODE="${1:-all}"
 
 echo "== configure (${BUILD_DIR}, -Werror) =="
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DPIET_WERROR=ON >/dev/null
+
+if [[ "${MODE}" == "--lint" ]]; then
+  echo "== build pietql_lint =="
+  cmake --build "${BUILD_DIR}" --target pietql_lint -j "${JOBS}"
+  echo "== lint corpus (tests/lint_corpus/) =="
+  "${BUILD_DIR}/examples/pietql_lint" tests/lint_corpus/*.lint
+  echo "== lint figure-1 scenario (must be clean) =="
+  "${BUILD_DIR}/examples/pietql_lint" --figure1
+  echo "== lint checks passed =="
+  exit 0
+fi
 
 echo "== build =="
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
@@ -24,7 +40,7 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 # toolchain image may only ship GCC. CI runs it in a dedicated job.
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy =="
-  mapfile -t sources < <(find src -name '*.cc' | sort)
+  mapfile -t sources < <(find src tests bench -name '*.cc' -o -name '*.cpp' | sort)
   clang-tidy -p "${BUILD_DIR}" --quiet "${sources[@]}"
 else
   echo "== clang-tidy: not installed, skipping (CI covers it) =="

@@ -1,6 +1,7 @@
 #include "analysis/diagnostic.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 namespace piet::analysis {
@@ -29,22 +30,84 @@ std::string_view CheckModeToString(CheckMode mode) {
   return "unknown";
 }
 
+namespace {
+
+void AppendJsonString(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
 std::string Diagnostic::ToString() const {
   std::ostringstream os;
   os << SeverityToString(severity) << " [" << check_id << "] " << entity
      << ": " << message;
+  if (!fixit.empty()) {
+    os << " (fix: " << fixit << ")";
+  }
+  return os.str();
+}
+
+std::string Diagnostic::ToJson() const {
+  std::ostringstream os;
+  os << "{\"severity\":";
+  AppendJsonString(os, SeverityToString(severity));
+  os << ",\"check_id\":";
+  AppendJsonString(os, check_id);
+  os << ",\"entity\":";
+  AppendJsonString(os, entity);
+  os << ",\"message\":";
+  AppendJsonString(os, message);
+  if (!fixit.empty()) {
+    os << ",\"fixit\":";
+    AppendJsonString(os, fixit);
+  }
+  os << "}";
   return os.str();
 }
 
 void DiagnosticList::Add(Severity severity, std::string check_id,
-                         std::string entity, std::string message) {
+                         std::string entity, std::string message,
+                         std::string fixit) {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.check_id == check_id && d.entity == entity && d.message == message) {
+      return;
+    }
+  }
   diagnostics_.push_back(Diagnostic{severity, std::move(check_id),
-                                    std::move(entity), std::move(message)});
+                                    std::move(entity), std::move(message),
+                                    std::move(fixit)});
 }
 
 void DiagnosticList::Merge(const DiagnosticList& other) {
-  diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
-                      other.diagnostics_.end());
+  for (const Diagnostic& d : other.diagnostics_) {
+    Add(d.severity, d.check_id, d.entity, d.message, d.fixit);
+  }
 }
 
 void DiagnosticList::DowngradeErrorsToWarnings() {
@@ -90,6 +153,19 @@ std::string DiagnosticList::ToString() const {
     }
     os << diagnostics_[i].ToString();
   }
+  return os.str();
+}
+
+std::string DiagnosticList::ToJson() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < diagnostics_.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    os << diagnostics_[i].ToJson();
+  }
+  os << "]";
   return os.str();
 }
 

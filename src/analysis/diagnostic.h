@@ -43,9 +43,18 @@ struct Diagnostic {
   std::string check_id;  ///< e.g. "moft-time-monotonic"
   std::string entity;    ///< e.g. "moft 'FMbus' oid 3" or "WHERE clause 2"
   std::string message;
+  /// Optional machine-applicable replacement for the offending construct,
+  /// e.g. "T BETWEEN 189493200 AND 189496800" — empty when no rewrite is
+  /// known. Rendered as a trailing "(fix: ...)" by ToString.
+  std::string fixit;
 
-  /// "error [moft-time-monotonic] moft 'FMbus' oid 3: ...".
+  /// "error [moft-time-monotonic] moft 'FMbus' oid 3: ..." with an optional
+  /// " (fix: ...)" suffix when a fix-it is attached.
   std::string ToString() const;
+
+  /// One JSON object {"severity","check_id","entity","message"[,"fixit"]}
+  /// with all strings escaped; "fixit" is omitted when empty.
+  std::string ToJson() const;
 };
 
 /// An append-only collection of diagnostics with the queries checkers and
@@ -55,20 +64,28 @@ class DiagnosticList {
  public:
   DiagnosticList() = default;
 
+  /// Appends a finding unless an identical (check_id, entity, message)
+  /// triple is already present — repeated analyze calls over the same input
+  /// (e.g. CheckAll reaching a schema both directly and via its instance)
+  /// must not duplicate findings. Distinct messages on a shared entity are
+  /// distinct findings and are all kept. An empty `fixit` attaches no
+  /// rewrite.
   void Add(Severity severity, std::string check_id, std::string entity,
-           std::string message);
-  void AddError(std::string check_id, std::string entity, std::string message) {
+           std::string message, std::string fixit = std::string());
+  void AddError(std::string check_id, std::string entity, std::string message,
+                std::string fixit = std::string()) {
     Add(Severity::kError, std::move(check_id), std::move(entity),
-        std::move(message));
+        std::move(message), std::move(fixit));
   }
   void AddWarning(std::string check_id, std::string entity,
-                  std::string message) {
+                  std::string message, std::string fixit = std::string()) {
     Add(Severity::kWarning, std::move(check_id), std::move(entity),
-        std::move(message));
+        std::move(message), std::move(fixit));
   }
-  void AddNote(std::string check_id, std::string entity, std::string message) {
+  void AddNote(std::string check_id, std::string entity, std::string message,
+               std::string fixit = std::string()) {
     Add(Severity::kNote, std::move(check_id), std::move(entity),
-        std::move(message));
+        std::move(message), std::move(fixit));
   }
 
   /// Appends every diagnostic of `other`.
@@ -99,6 +116,9 @@ class DiagnosticList {
 
   /// One diagnostic per line.
   std::string ToString() const;
+
+  /// JSON array of Diagnostic::ToJson objects, one per finding.
+  std::string ToJson() const;
 
   /// OK when no error diagnostics are present; otherwise InvalidArgument
   /// whose message lists every error (the strict-mode rejection).

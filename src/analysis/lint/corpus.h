@@ -1,0 +1,63 @@
+#ifndef PIET_ANALYSIS_LINT_CORPUS_H_
+#define PIET_ANALYSIS_LINT_CORPUS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/lint/schema_lint.h"
+#include "common/result.h"
+#include "gis/instance.h"
+
+namespace piet::analysis::lint {
+
+/// One `.lint` corpus case: a raw schema model (possibly defective), the
+/// Piet-QL queries to lint against it, and the exact set of check IDs the
+/// linter must report. Format — one whitespace-separated directive per
+/// line, `#` comments:
+///
+///   layer <name> <kind>                       declare a layer
+///   graph <layer> <fine>-><coarse> ...        raw H(L) edges (may be cyclic)
+///   elem <layer> <WKT>                        add an element (POINT /
+///                                             LINESTRING / POLYGON)
+///   attrval <layer> <id> <name> <t:value>     element attribute
+///                                             (t in i/d/s/b, as gis/io)
+///   ids <layer> <kind> <id>...                declare a level universe
+///   attr <name> <kind> <layer>                Att binding
+///   rollup <layer> <fine> <coarse> <f>:<c>... stored rollup pairs
+///   alpha <attr> <t:value> <geomId>           one alpha pair
+///   fact <name> <layer> <kind> [<id>...]      fact table coverage (Def. 4)
+///   moft <name>                               register a MOFT name
+///   query <verbatim Piet-QL>                  a query to lint
+///   expect <check-id> ...                     expected finding IDs
+///
+/// Layers with elements implicitly declare the universe of their own kind.
+struct CorpusCase {
+  std::string name;
+  SchemaModel model;
+  std::vector<std::string> queries;
+  std::vector<std::string> expected_ids;  ///< Sorted, unique.
+  /// A live instance for query linting, built when the schema is clean
+  /// enough for the gis API to accept it; null for schema-defect cases
+  /// (their queries are skipped).
+  std::shared_ptr<gis::GisDimensionInstance> instance;
+  std::vector<std::string> moft_names;
+};
+
+Result<CorpusCase> ParseCorpusText(std::string name, std::string_view text);
+Result<CorpusCase> ParseCorpusFile(const std::string& path);
+
+/// Lints one case: LintSchema over the raw model, then per query Parse
+/// (failures become lint-parse-error) + AnalyzeQuery + LintQuery when an
+/// instance is available.
+DiagnosticList LintCase(const CorpusCase& c);
+
+/// OK when the distinct check-ID set of `found` equals the case's expected
+/// set exactly; otherwise InvalidArgument naming the missing / unexpected
+/// IDs. An absent `expect` directive means the case must lint clean.
+Status CheckExpectations(const CorpusCase& c, const DiagnosticList& found);
+
+}  // namespace piet::analysis::lint
+
+#endif  // PIET_ANALYSIS_LINT_CORPUS_H_

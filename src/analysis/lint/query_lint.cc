@@ -1,0 +1,312 @@
+#include "analysis/lint/query_lint.h"
+
+#include <algorithm>
+#include <charconv>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "analysis/lint/time_domain.h"
+#include "gis/layer.h"
+#include "temporal/time_dimension.h"
+
+namespace piet::analysis::lint {
+
+namespace pietql = core::pietql;
+using gis::GeometryId;
+using gis::Layer;
+
+namespace {
+
+/// Shortest round-trip rendering, matching the printer (no 6-digit
+/// truncation): "50", "1.5", "189493200".
+std::string FormatNumber(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) {
+    return "0";
+  }
+  std::string out(buf, ptr);
+  if (out.size() > 2 && out.substr(out.size() - 2) == ".0") {
+    out.resize(out.size() - 2);
+  }
+  return out;
+}
+
+/// Mirrors the evaluator's comparison exactly (Value's total order).
+bool CompareValues(const Value& lhs, pietql::CompareOp op, const Value& rhs) {
+  switch (op) {
+    case pietql::CompareOp::kLt:
+      return lhs < rhs;
+    case pietql::CompareOp::kGt:
+      return rhs < lhs;
+    case pietql::CompareOp::kLe:
+      return !(rhs < lhs);
+    case pietql::CompareOp::kGe:
+      return !(lhs < rhs);
+    case pietql::CompareOp::kEq:
+      return lhs == rhs;
+  }
+  return false;
+}
+
+const Layer* ResolveLayer(const QueryContext& context,
+                          const std::string& name) {
+  if (context.gis == nullptr) {
+    return nullptr;
+  }
+  const auto layer = context.gis->GetLayer(name);
+  return layer.ok() ? layer.ValueOrDie() : nullptr;
+}
+
+std::string GeoEntity(size_t index, const pietql::GeoCondition& cond) {
+  const std::string entity = "geo WHERE clause " + std::to_string(index + 1);
+  switch (cond.kind) {
+    case pietql::GeoCondition::Kind::kAttrCompare:
+      return entity + " (ATTR layer." + cond.a.name + ", " + cond.attribute +
+             ")";
+    case pietql::GeoCondition::Kind::kIntersection:
+      return entity + " (INTERSECTION layer." + cond.a.name + ", layer." +
+             cond.b.name + ")";
+    case pietql::GeoCondition::Kind::kContains:
+      return entity + " (CONTAINS layer." + cond.a.name + ", layer." +
+             cond.b.name + ")";
+  }
+  return entity;
+}
+
+/// Flows the over-approximate satisfying id set through the geo WHERE
+/// conjunction. Returns the final set; nullopt when the linter cannot
+/// reason about the query (unknown layer, malformed select).
+std::optional<std::vector<GeometryId>> LintGeoPart(
+    const QueryContext& context, const pietql::GeoQuery& geo,
+    DiagnosticList* out) {
+  if (geo.select.empty()) {
+    return std::nullopt;
+  }
+  const std::string& result_name = geo.select.front().name;
+  const Layer* layer = ResolveLayer(context, result_name);
+  if (layer == nullptr) {
+    return std::nullopt;  // query-unknown-layer territory.
+  }
+
+  std::vector<GeometryId> current(layer->ids());
+  std::sort(current.begin(), current.end());
+  bool abstained = false;
+  for (size_t i = 0; i < geo.where.size(); ++i) {
+    const pietql::GeoCondition& cond = geo.where[i];
+    if (cond.a.name != result_name) {
+      return std::nullopt;  // The evaluator rejects this shape outright.
+    }
+    const std::string entity = GeoEntity(i, cond);
+    // The clause's satisfying set over the whole layer. Attr comparisons
+    // are exact; spatial clauses over-approximate with bounding boxes (a
+    // disjoint box proves the geometric test false, so an empty set is
+    // still a proof of deadness).
+    std::vector<GeometryId> satisfying;
+    bool exact = false;
+    switch (cond.kind) {
+      case pietql::GeoCondition::Kind::kAttrCompare: {
+        exact = true;
+        for (const GeometryId id : layer->ids()) {
+          const auto v = layer->GetAttribute(id, cond.attribute);
+          if (v.ok() && CompareValues(v.ValueOrDie(), cond.op, cond.literal)) {
+            satisfying.push_back(id);
+          }
+        }
+        break;
+      }
+      case pietql::GeoCondition::Kind::kIntersection:
+      case pietql::GeoCondition::Kind::kContains: {
+        const Layer* other = ResolveLayer(context, cond.b.name);
+        if (other == nullptr) {
+          abstained = true;
+          continue;
+        }
+        for (const GeometryId id : layer->ids()) {
+          const auto bounds = layer->BoundsOf(id);
+          if (bounds.ok() &&
+              !other->CandidatesInBox(bounds.ValueOrDie()).empty()) {
+            satisfying.push_back(id);
+          }
+        }
+        break;
+      }
+    }
+    std::sort(satisfying.begin(), satisfying.end());
+    if (satisfying.empty()) {
+      out->AddWarning("lint-dead-clause", entity,
+                      "no element of layer '" + result_name +
+                          "' can satisfy this clause; it always filters "
+                          "everything");
+    } else if (exact && std::includes(satisfying.begin(), satisfying.end(),
+                                      current.begin(), current.end())) {
+      out->AddNote("lint-redundant-clause", entity,
+                   "every remaining element satisfies this clause; it "
+                   "filters nothing",
+                   "drop this clause");
+    }
+    std::vector<GeometryId> next;
+    std::set_intersection(current.begin(), current.end(), satisfying.begin(),
+                          satisfying.end(), std::back_inserter(next));
+    current = std::move(next);
+  }
+  if (!geo.where.empty() && !abstained && current.empty()) {
+    out->AddWarning("lint-empty-region", "geo WHERE clauses",
+                    "the conjunction provably selects no geometry of layer "
+                    "'" + result_name + "'; the result region is empty");
+  }
+  if (abstained) {
+    return std::nullopt;
+  }
+  return current;
+}
+
+}  // namespace
+
+DiagnosticList LintQuery(const QueryContext& context,
+                         const pietql::Query& query) {
+  DiagnosticList out;
+  const std::optional<std::vector<GeometryId>> region =
+      LintGeoPart(context, query.geo, &out);
+  if (!query.mo) {
+    return out;
+  }
+  const pietql::MoQuery& mo = *query.mo;
+
+  TimeAbstract acc;
+  bool any_time_dead = false;
+  size_t windows = 0;
+  size_t rollup_equals = 0;
+  std::string fastpath_fixit;
+  for (size_t i = 0; i < mo.where.size(); ++i) {
+    const pietql::MoCondition& cond = mo.where[i];
+    const std::string entity = "mo WHERE clause " + std::to_string(i + 1);
+    switch (cond.kind) {
+      case pietql::MoCondition::Kind::kTimeBetween: {
+        ++windows;
+        if (cond.t1 < cond.t0) {
+          any_time_dead = true;
+          out.AddWarning("lint-dead-clause", entity + " (T BETWEEN)",
+                         "empty time window: upper bound " +
+                             FormatNumber(cond.t1) +
+                             " precedes lower bound " + FormatNumber(cond.t0),
+                         "T BETWEEN " + FormatNumber(cond.t1) + " AND " +
+                             FormatNumber(cond.t0));
+        } else {
+          acc.MeetWindow(temporal::Interval(temporal::TimePoint(cond.t0),
+                                            temporal::TimePoint(cond.t1)));
+        }
+        break;
+      }
+      case pietql::MoCondition::Kind::kTimeEquals: {
+        if (!temporal::TimeDimension::HasLevel(cond.time_level)) {
+          break;  // query-unknown-time-level territory.
+        }
+        ++rollup_equals;  // Any rollup-equality disables window_only().
+        const std::string clause_entity =
+            entity + " (TIME." + cond.time_level + ")";
+        switch (acc.MeetLevelEquals(cond.time_level, cond.literal)) {
+          case TimeFold::kDead:
+            any_time_dead = true;
+            out.AddWarning("lint-dead-clause", clause_entity,
+                           "TIME." + cond.time_level + " = " +
+                               cond.literal.ToString() +
+                               " matches no instant; " +
+                               cond.literal.ToString() +
+                               " is not a member of this level");
+            break;
+          case TimeFold::kAlways:
+            out.AddNote("lint-redundant-clause", clause_entity,
+                        "TIME." + cond.time_level + " = " +
+                            cond.literal.ToString() +
+                            " holds at every instant",
+                        "drop this clause");
+            break;
+          case TimeFold::kFolded:
+          case TimeFold::kUnknown:
+            break;
+        }
+        if (fastpath_fixit.empty()) {
+          const auto window =
+              TimeAbstract::LevelEqualsWindow(cond.time_level, cond.literal);
+          if (window) {
+            fastpath_fixit = "rewrite TIME." + cond.time_level + " = " +
+                             cond.literal.ToString() + " as T BETWEEN " +
+                             FormatNumber(window->begin.seconds) + " AND " +
+                             FormatNumber(window->end.seconds);
+          }
+        }
+        break;
+      }
+      case pietql::MoCondition::Kind::kNearLayer: {
+        const std::string clause_entity =
+            entity + " (NEAR layer." + cond.near_layer + ")";
+        const Layer* near = ResolveLayer(context, cond.near_layer);
+        if (cond.radius < 0.0) {
+          out.AddWarning("lint-contradictory-spatial", clause_entity,
+                         "radius " + FormatNumber(cond.radius) +
+                             " is negative; no sample is ever within a "
+                             "negative distance");
+        } else if (near != nullptr && near->size() == 0) {
+          out.AddWarning("lint-contradictory-spatial", clause_entity,
+                         "layer '" + cond.near_layer +
+                             "' has no elements; NEAR can never hold");
+        }
+        break;
+      }
+      case pietql::MoCondition::Kind::kInsideResult:
+      case pietql::MoCondition::Kind::kPassesThroughResult: {
+        const bool inside =
+            cond.kind == pietql::MoCondition::Kind::kInsideResult;
+        if (region.has_value() && !query.geo.where.empty() &&
+            region->empty()) {
+          out.AddWarning(
+              "lint-contradictory-spatial",
+              entity + (inside ? " (INSIDE RESULT)"
+                               : " (PASSES THROUGH RESULT)"),
+              "the geometric part provably selects no geometry, so this "
+              "condition can never hold");
+        }
+        break;
+      }
+    }
+  }
+  if (acc.IsBottom() && !any_time_dead) {
+    out.AddWarning("lint-empty-time", "mo WHERE clauses",
+                   "the time predicates are individually satisfiable but "
+                   "their conjunction matches no instant");
+  }
+  if (windows > 0 && rollup_equals > 0) {
+    out.AddNote("lint-fastpath-defeated", "mo WHERE clauses",
+                "mixing T BETWEEN with TIME.<level> = disables the "
+                "window-only SamplesMatchingTime binary-search fast path; "
+                "every sample is tested row by row",
+                fastpath_fixit);
+  }
+  return out;
+}
+
+std::vector<std::string> AllLintCheckIds() {
+  return {
+      "lint-alpha-dangling",
+      "lint-alpha-functional",
+      "lint-att-binding",
+      "lint-contradictory-spatial",
+      "lint-dead-clause",
+      "lint-empty-region",
+      "lint-empty-time",
+      "lint-fastpath-defeated",
+      "lint-graph-cycle",
+      "lint-graph-shape",
+      "lint-parse-error",
+      "lint-redundant-clause",
+      "lint-rollup-composition",
+      "lint-rollup-dangling",
+      "lint-rollup-functional",
+      "lint-rollup-total",
+      "lint-summability",
+  };
+}
+
+}  // namespace piet::analysis::lint

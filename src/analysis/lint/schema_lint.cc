@@ -1,0 +1,450 @@
+#include "analysis/lint/schema_lint.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace piet::analysis::lint {
+
+using gis::GeometryId;
+using gis::GeometryKind;
+using gis::GeometryKindToString;
+
+namespace {
+
+using KindEdge = std::pair<GeometryKind, GeometryKind>;
+
+std::string KindName(GeometryKind kind) {
+  return std::string(GeometryKindToString(kind));
+}
+
+std::string EdgeName(GeometryKind fine, GeometryKind coarse) {
+  return KindName(fine) + "->" + KindName(coarse);
+}
+
+std::string GraphEntity(const std::string& layer) {
+  return "layer '" + layer + "' graph";
+}
+
+std::string RollupEntity(const SchemaModel::Rollup& r) {
+  return "rollup " + EdgeName(r.fine, r.coarse) + " in layer '" + r.layer +
+         "'";
+}
+
+/// Nodes of a raw edge relation plus the two distinguished kinds that are
+/// always part of H(L) (Def. 1).
+std::set<GeometryKind> GraphNodes(const std::vector<KindEdge>& edges) {
+  std::set<GeometryKind> nodes = {GeometryKind::kPoint, GeometryKind::kAll};
+  for (const auto& [fine, coarse] : edges) {
+    nodes.insert(fine);
+    nodes.insert(coarse);
+  }
+  return nodes;
+}
+
+/// All nodes reachable from `start` along raw edges (reflexive).
+std::set<GeometryKind> ReachableFrom(const std::vector<KindEdge>& edges,
+                                     GeometryKind start) {
+  std::set<GeometryKind> seen = {start};
+  std::vector<GeometryKind> stack = {start};
+  while (!stack.empty()) {
+    const GeometryKind node = stack.back();
+    stack.pop_back();
+    for (const auto& [fine, coarse] : edges) {
+      if (fine == node && seen.insert(coarse).second) {
+        stack.push_back(coarse);
+      }
+    }
+  }
+  return seen;
+}
+
+/// True when the raw edge relation has a directed cycle (self-loops count).
+bool HasCycle(const std::vector<KindEdge>& edges) {
+  const std::set<GeometryKind> nodes = GraphNodes(edges);
+  std::map<GeometryKind, int> state;  // 0 = white, 1 = grey, 2 = black.
+  for (const GeometryKind root : nodes) {
+    if (state[root] != 0) {
+      continue;
+    }
+    // Iterative DFS with an explicit exit marker per node.
+    std::vector<std::pair<GeometryKind, bool>> stack = {{root, false}};
+    while (!stack.empty()) {
+      const auto [node, exiting] = stack.back();
+      stack.pop_back();
+      if (exiting) {
+        state[node] = 2;
+        continue;
+      }
+      if (state[node] == 1) {
+        continue;
+      }
+      state[node] = 1;
+      stack.emplace_back(node, true);
+      for (const auto& [fine, coarse] : edges) {
+        if (fine != node) {
+          continue;
+        }
+        if (state[coarse] == 1) {
+          return true;
+        }
+        if (state[coarse] == 0) {
+          stack.emplace_back(coarse, false);
+        }
+      }
+    }
+  }
+  return false;
+}
+
+const SchemaModel::Graph* FindGraph(const SchemaModel& model,
+                                    const std::string& layer) {
+  for (const SchemaModel::Graph& g : model.graphs) {
+    if (g.layer == layer) {
+      return &g;
+    }
+  }
+  return nullptr;
+}
+
+const std::vector<GeometryId>* FindUniverse(const SchemaModel& model,
+                                            const std::string& layer,
+                                            GeometryKind kind) {
+  for (const SchemaModel::LevelUniverse& u : model.levels) {
+    if (u.layer == layer && u.kind == kind) {
+      return &u.ids;
+    }
+  }
+  return nullptr;
+}
+
+const SchemaModel::Rollup* FindRollup(const SchemaModel& model,
+                                      const std::string& layer,
+                                      GeometryKind fine, GeometryKind coarse) {
+  for (const SchemaModel::Rollup& r : model.rollups) {
+    if (r.layer == layer && r.fine == fine && r.coarse == coarse) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+void LintGraphs(const SchemaModel& model, std::set<std::string>* acyclic,
+                DiagnosticList* out) {
+  std::set<std::string> seen;
+  for (const SchemaModel::Graph& graph : model.graphs) {
+    if (!seen.insert(graph.layer).second) {
+      out->AddError("lint-graph-shape", GraphEntity(graph.layer),
+                    "layer declares more than one geometry graph");
+      continue;
+    }
+    if (HasCycle(graph.edges)) {
+      out->AddError("lint-graph-cycle", GraphEntity(graph.layer),
+                    "H(L) has a directed cycle; rollup order is undefined "
+                    "(Def. 1 requires a DAG from point to All)");
+      continue;  // Shape checks assume acyclicity.
+    }
+    acyclic->insert(graph.layer);
+    for (const auto& [fine, coarse] : graph.edges) {
+      if (coarse == GeometryKind::kPoint) {
+        out->AddError("lint-graph-shape", GraphEntity(graph.layer),
+                      "edge " + EdgeName(fine, coarse) +
+                          " enters 'point'; point must be the unique source");
+      }
+      if (fine == GeometryKind::kAll) {
+        out->AddError("lint-graph-shape", GraphEntity(graph.layer),
+                      "edge " + EdgeName(fine, coarse) +
+                          " leaves 'All'; All must be the unique sink");
+      }
+    }
+    const std::set<GeometryKind> from_point =
+        ReachableFrom(graph.edges, GeometryKind::kPoint);
+    for (const GeometryKind node : GraphNodes(graph.edges)) {
+      if (node != GeometryKind::kPoint && !from_point.count(node)) {
+        out->AddError("lint-graph-shape", GraphEntity(graph.layer),
+                      "kind '" + KindName(node) +
+                          "' is not reachable from point");
+      }
+      if (node != GeometryKind::kAll &&
+          !ReachableFrom(graph.edges, node).count(GeometryKind::kAll)) {
+        out->AddError("lint-graph-shape", GraphEntity(graph.layer),
+                      "kind '" + KindName(node) + "' does not reach All");
+      }
+    }
+  }
+}
+
+void LintAttributes(const SchemaModel& model, DiagnosticList* out) {
+  std::set<std::string> seen;
+  for (const gis::AttributeBinding& att : model.attributes) {
+    const std::string entity = "attribute '" + att.attribute + "'";
+    if (!seen.insert(att.attribute).second) {
+      out->AddError("lint-att-binding", entity,
+                    "Att is not a function: attribute bound more than once");
+      continue;
+    }
+    const SchemaModel::Graph* graph = FindGraph(model, att.layer);
+    if (graph == nullptr) {
+      out->AddError("lint-att-binding", entity,
+                    "bound to unknown layer '" + att.layer + "'");
+      continue;
+    }
+    if (!GraphNodes(graph->edges).count(att.kind)) {
+      out->AddError("lint-att-binding", entity,
+                    "bound to kind '" + KindName(att.kind) +
+                        "' absent from layer '" + att.layer + "'");
+    }
+  }
+}
+
+void LintRollups(const SchemaModel& model, DiagnosticList* out) {
+  for (const SchemaModel::Rollup& rollup : model.rollups) {
+    const std::string entity = RollupEntity(rollup);
+    const SchemaModel::Graph* graph = FindGraph(model, rollup.layer);
+    if (graph == nullptr) {
+      out->AddError("lint-rollup-dangling", entity,
+                    "layer has no geometry graph");
+      continue;
+    }
+    if (std::find(graph->edges.begin(), graph->edges.end(),
+                  KindEdge{rollup.fine, rollup.coarse}) ==
+        graph->edges.end()) {
+      out->AddError("lint-rollup-dangling", entity,
+                    "no edge " + EdgeName(rollup.fine, rollup.coarse) +
+                        " in H(L); the relation rolls up along nothing");
+    }
+    // Functionality: r^{Gj,Gk}_L must map each fine id to one coarse id.
+    std::map<GeometryId, std::set<GeometryId>> images;
+    for (const auto& [fine_id, coarse_id] : rollup.pairs) {
+      images[fine_id].insert(coarse_id);
+    }
+    for (const auto& [fine_id, coarse_ids] : images) {
+      if (coarse_ids.size() > 1) {
+        out->AddError("lint-rollup-functional", entity,
+                      "fine id " + std::to_string(fine_id) + " maps to " +
+                          std::to_string(coarse_ids.size()) +
+                          " coarse ids; rollup must be function-valued");
+      }
+    }
+    // Totality over the declared fine universe, when one is known.
+    const std::vector<GeometryId>* universe =
+        FindUniverse(model, rollup.layer, rollup.fine);
+    if (universe != nullptr) {
+      for (const GeometryId id : *universe) {
+        if (!images.count(id)) {
+          out->AddError("lint-rollup-total", entity,
+                        "fine id " + std::to_string(id) +
+                            " has no image; rollup must be total");
+        }
+      }
+    }
+    // Dangling ids against declared universes.
+    const std::vector<GeometryId>* coarse_universe =
+        FindUniverse(model, rollup.layer, rollup.coarse);
+    for (const auto& [fine_id, coarse_id] : rollup.pairs) {
+      if (universe != nullptr &&
+          std::find(universe->begin(), universe->end(), fine_id) ==
+              universe->end()) {
+        out->AddError("lint-rollup-dangling", entity,
+                      "fine id " + std::to_string(fine_id) +
+                          " is not an element of level '" +
+                          KindName(rollup.fine) + "'");
+      }
+      if (coarse_universe != nullptr &&
+          std::find(coarse_universe->begin(), coarse_universe->end(),
+                    coarse_id) == coarse_universe->end()) {
+        out->AddError("lint-rollup-dangling", entity,
+                      "coarse id " + std::to_string(coarse_id) +
+                          " is not an element of level '" +
+                          KindName(rollup.coarse) + "'");
+      }
+    }
+  }
+}
+
+void LintCompositions(const SchemaModel& model, DiagnosticList* out) {
+  for (const SchemaModel::Rollup& r12 : model.rollups) {
+    for (const SchemaModel::Rollup& r23 : model.rollups) {
+      if (r23.layer != r12.layer || r23.fine != r12.coarse) {
+        continue;
+      }
+      const SchemaModel::Rollup* r13 =
+          FindRollup(model, r12.layer, r12.fine, r23.coarse);
+      if (r13 == nullptr) {
+        continue;  // No stored shortcut relation to be consistent with.
+      }
+      const std::string entity = RollupEntity(*r13);
+      for (const auto& [a, b1] : r12.pairs) {
+        for (const auto& [b2, c] : r23.pairs) {
+          if (b1 != b2) {
+            continue;
+          }
+          if (std::find(r13->pairs.begin(), r13->pairs.end(),
+                        std::pair<GeometryId, GeometryId>{a, c}) ==
+              r13->pairs.end()) {
+            out->AddError(
+                "lint-rollup-composition", entity,
+                "composition " + EdgeName(r12.fine, r12.coarse) + " ∘ " +
+                    EdgeName(r23.fine, r23.coarse) + " maps " +
+                    std::to_string(a) + " to " + std::to_string(c) +
+                    " but the stored relation does not");
+          }
+        }
+      }
+    }
+  }
+}
+
+void LintAlphas(const SchemaModel& model, DiagnosticList* out) {
+  std::set<std::string> seen;
+  for (const SchemaModel::AlphaBinding& alpha : model.alphas) {
+    const std::string entity = "alpha '" + alpha.attribute + "'";
+    if (!seen.insert(alpha.attribute).second) {
+      out->AddError("lint-alpha-dangling", entity,
+                    "attribute has more than one alpha binding");
+      continue;
+    }
+    const gis::AttributeBinding* binding = nullptr;
+    for (const gis::AttributeBinding& att : model.attributes) {
+      if (att.attribute == alpha.attribute) {
+        binding = &att;
+        break;
+      }
+    }
+    if (binding == nullptr) {
+      out->AddError("lint-alpha-dangling", entity,
+                    "alpha binds members of an attribute with no Att entry");
+      continue;
+    }
+    std::map<Value, std::set<GeometryId>> images;
+    for (const auto& [member, geom] : alpha.pairs) {
+      images[member].insert(geom);
+    }
+    for (const auto& [member, geoms] : images) {
+      if (geoms.size() > 1) {
+        out->AddError("lint-alpha-functional", entity,
+                      "member " + member.ToString() + " maps to " +
+                          std::to_string(geoms.size()) +
+                          " geometries; alpha must be function-valued");
+      }
+    }
+    const std::vector<GeometryId>* universe =
+        FindUniverse(model, binding->layer, binding->kind);
+    if (universe != nullptr) {
+      for (const auto& [member, geom] : alpha.pairs) {
+        if (std::find(universe->begin(), universe->end(), geom) ==
+            universe->end()) {
+          out->AddError("lint-alpha-dangling", entity,
+                        "member " + member.ToString() +
+                            " binds to geometry " + std::to_string(geom) +
+                            " absent from level '" + KindName(binding->kind) +
+                            "' of layer '" + binding->layer + "'");
+        }
+      }
+    }
+  }
+}
+
+void LintFactTables(const SchemaModel& model,
+                    const std::set<std::string>& acyclic,
+                    DiagnosticList* out) {
+  for (const SchemaModel::FactTable& fact : model.fact_tables) {
+    const std::string entity = "fact table '" + fact.name + "'";
+    const SchemaModel::Graph* graph = FindGraph(model, fact.layer);
+    if (graph == nullptr) {
+      out->AddError("lint-summability", entity,
+                    "geometry dimension references unknown layer '" +
+                        fact.layer + "'");
+      continue;
+    }
+    if (!GraphNodes(graph->edges).count(fact.level)) {
+      out->AddError("lint-summability", entity,
+                    "level '" + KindName(fact.level) +
+                        "' is absent from layer '" + fact.layer + "'");
+      continue;
+    }
+    if (acyclic.count(fact.layer) &&
+        fact.level != gis::GeometryKind::kPoint &&
+        !ReachableFrom(graph->edges, gis::GeometryKind::kPoint)
+             .count(fact.level)) {
+      out->AddError("lint-summability", entity,
+                    "level '" + KindName(fact.level) +
+                        "' is unreachable from point; the Def. 4 summable "
+                        "rewriting cannot aggregate up to it");
+    }
+    // Def. 4 needs the fact table total over the level's members: a missing
+    // member silently drops from every coarser aggregate.
+    const std::vector<GeometryId>* universe =
+        FindUniverse(model, fact.layer, fact.level);
+    if (universe != nullptr) {
+      for (const GeometryId id : *universe) {
+        if (std::find(fact.ids.begin(), fact.ids.end(), id) ==
+            fact.ids.end()) {
+          out->AddError("lint-summability", entity,
+                        "member " + std::to_string(id) + " of level '" +
+                            KindName(fact.level) +
+                            "' has no fact row; aggregates above this level "
+                            "undercount");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SchemaModel SchemaModel::FromInstance(
+    const gis::GisDimensionInstance& instance) {
+  SchemaModel model;
+  for (const std::string& name : instance.schema().LayerNames()) {
+    const auto graph = instance.schema().GraphOf(name);
+    if (graph.ok()) {
+      model.graphs.push_back(Graph{name, graph.ValueOrDie()->edges()});
+    }
+  }
+  model.attributes = instance.schema().attributes();
+  for (const gis::StoredRollup& stored : instance.StoredRollups()) {
+    model.rollups.push_back(
+        Rollup{stored.layer, stored.fine, stored.coarse, *stored.pairs});
+  }
+  for (const gis::AttributeBinding& att : instance.schema().attributes()) {
+    const auto members = instance.AlphaMembers(att.attribute);
+    if (!members.ok()) {
+      continue;
+    }
+    AlphaBinding alpha;
+    alpha.attribute = att.attribute;
+    for (const Value& member : members.ValueOrDie()) {
+      const auto geom = instance.Alpha(att.attribute, member);
+      if (geom.ok()) {
+        alpha.pairs.emplace_back(member, geom.ValueOrDie());
+      }
+    }
+    if (!alpha.pairs.empty()) {
+      model.alphas.push_back(std::move(alpha));
+    }
+  }
+  for (const std::string& name : instance.LayerNames()) {
+    const auto layer = instance.GetLayer(name);
+    if (layer.ok()) {
+      model.levels.push_back(LevelUniverse{name, layer.ValueOrDie()->kind(),
+                                           layer.ValueOrDie()->ids()});
+    }
+  }
+  return model;
+}
+
+DiagnosticList LintSchema(const SchemaModel& model) {
+  DiagnosticList out;
+  std::set<std::string> acyclic;
+  LintGraphs(model, &acyclic, &out);
+  LintAttributes(model, &out);
+  LintRollups(model, &out);
+  LintCompositions(model, &out);
+  LintAlphas(model, &out);
+  LintFactTables(model, acyclic, &out);
+  return out;
+}
+
+}  // namespace piet::analysis::lint

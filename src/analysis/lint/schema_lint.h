@@ -1,0 +1,83 @@
+#ifndef PIET_ANALYSIS_LINT_SCHEMA_LINT_H_
+#define PIET_ANALYSIS_LINT_SCHEMA_LINT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "common/value.h"
+#include "gis/instance.h"
+#include "gis/layer.h"
+#include "gis/schema.h"
+
+namespace piet::analysis::lint {
+
+/// A raw, unvalidated view of a GIS dimension for the schema-lattice
+/// verifier. `gis::GeometryGraph::AddEdge` and friends reject malformed
+/// input at construction, so defective schemas (cyclic H(L), non-functional
+/// rollups, ...) cannot even be *built* through the gis API — the linter
+/// instead consumes this plain-data model, which the corpus loader fills
+/// from text and `FromInstance` fills from a live instance.
+struct SchemaModel {
+  struct Graph {
+    std::string layer;
+    std::vector<std::pair<gis::GeometryKind, gis::GeometryKind>> edges;
+  };
+  /// One stored rollup relation r^{fine,coarse}_layer as raw id pairs.
+  struct Rollup {
+    std::string layer;
+    gis::GeometryKind fine = gis::GeometryKind::kPoint;
+    gis::GeometryKind coarse = gis::GeometryKind::kAll;
+    std::vector<std::pair<gis::GeometryId, gis::GeometryId>> pairs;
+  };
+  /// One α function as raw (member, geometry) pairs.
+  struct AlphaBinding {
+    std::string attribute;
+    std::vector<std::pair<Value, gis::GeometryId>> pairs;
+  };
+  /// The universe of geometry ids at one (layer, kind) level. Levels with
+  /// no declared universe are treated as unknown and totality checks over
+  /// them are skipped (the linter only reports what it can prove).
+  struct LevelUniverse {
+    std::string layer;
+    gis::GeometryKind kind = gis::GeometryKind::kPoint;
+    std::vector<gis::GeometryId> ids;
+  };
+  /// A fact table for the Def. 4 summability precondition: its geometry
+  /// dimension column ranges over `level` of `layer`, and `ids` are the
+  /// members it actually covers.
+  struct FactTable {
+    std::string name;
+    std::string layer;
+    gis::GeometryKind level = gis::GeometryKind::kPoint;
+    std::vector<gis::GeometryId> ids;
+  };
+
+  std::vector<Graph> graphs;
+  std::vector<gis::AttributeBinding> attributes;
+  std::vector<Rollup> rollups;
+  std::vector<AlphaBinding> alphas;
+  std::vector<LevelUniverse> levels;
+  std::vector<FactTable> fact_tables;
+
+  /// Snapshot of a live instance: layer graphs, attribute bindings, stored
+  /// rollups, α bindings, and one level universe per layer (its element
+  /// kind). Fact tables are not derivable from the instance and stay empty.
+  static SchemaModel FromInstance(const gis::GisDimensionInstance& instance);
+};
+
+/// Verifies the schema lattice of Defs. 1-4 over the raw model:
+/// H(L) acyclicity and shape (lint-graph-cycle, lint-graph-shape), Att
+/// bindings (lint-att-binding), rollup functionality / totality / edge
+/// existence (lint-rollup-functional, lint-rollup-total,
+/// lint-rollup-dangling), composition consistency
+/// r^{G1,G2} ∘ r^{G2,G3} ⊆ r^{G1,G3} (lint-rollup-composition), α
+/// functionality and dangling references (lint-alpha-functional,
+/// lint-alpha-dangling), and per-fact-table summability preconditions
+/// (lint-summability). All findings are errors.
+DiagnosticList LintSchema(const SchemaModel& model);
+
+}  // namespace piet::analysis::lint
+
+#endif  // PIET_ANALYSIS_LINT_SCHEMA_LINT_H_

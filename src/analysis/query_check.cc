@@ -238,12 +238,8 @@ DiagnosticList AnalyzeQuery(const QueryContext& context,
                        entity + " (TIME." + cond.time_level + ")", &out);
         break;
       case pietql::MoCondition::Kind::kTimeBetween:
-        if (cond.t1 < cond.t0) {
-          out.AddWarning("query-attr-type-mismatch",
-                         entity + " (T BETWEEN)",
-                         "empty time window: upper bound precedes lower "
-                         "bound");
-        }
+        // Inverted windows are a dead-clause finding: the abstract-domain
+        // linter reports them as lint-dead-clause with a swap fix-it.
         break;
       case pietql::MoCondition::Kind::kNearLayer: {
         ++spatial_modes;

@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/lint/query_lint.h"
 #include "analysis/query_check.h"
 #include "common/parallel.h"
 #include "core/pietql/parser.h"
@@ -297,12 +298,30 @@ Result<QueryResult> Evaluator::EvaluateImpl(const Query& query,
     context.moft_names = db_->MoftNames();
     analysis::DiagnosticList diagnostics =
         analysis::AnalyzeQuery(context, query);
-    analyze_span.Attr("diagnostics",
-                      static_cast<int64_t>(diagnostics.size()));
     if (check_mode_ == analysis::CheckMode::kStrict &&
         diagnostics.HasErrors()) {
+      analyze_span.Attr("diagnostics",
+                        static_cast<int64_t>(diagnostics.size()));
       return diagnostics.ToStatus();
     }
+    // The static plan linter proves clauses dead / regions empty without
+    // evaluating; its findings are warnings and notes, so strict mode keeps
+    // accepting lint-flagged queries.
+    {
+      obs::TraceSpan lint_span(trace, "lint");
+      analysis::DiagnosticList lint =
+          analysis::lint::LintQuery(context, query);
+      lint_span.Attr("findings", static_cast<int64_t>(lint.size()));
+      if (obs_on) {
+        obs::MetricsRegistry::Global().GetCounter("pietql.lint.queries")
+            .Add(1);
+        obs::MetricsRegistry::Global().GetCounter("pietql.lint.findings")
+            .Add(static_cast<int64_t>(lint.size()));
+      }
+      diagnostics.Merge(lint);
+    }
+    analyze_span.Attr("diagnostics",
+                      static_cast<int64_t>(diagnostics.size()));
     diagnostics.DowngradeErrorsToWarnings();
     result.diagnostics = std::move(diagnostics);
   }

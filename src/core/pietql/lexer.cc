@@ -60,15 +60,29 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
       continue;
     }
     if (c == '\'' || c == '"') {
+      // SQL-style escaping: a doubled quote inside the literal stands for
+      // one literal quote character ('it''s' lexes as `it's`).
+      std::string value;
       size_t j = i + 1;
-      while (j < text.size() && text[j] != c) {
+      bool closed = false;
+      while (j < text.size()) {
+        if (text[j] == c) {
+          if (j + 1 < text.size() && text[j + 1] == c) {
+            value.push_back(c);
+            j += 2;
+            continue;
+          }
+          closed = true;
+          break;
+        }
+        value.push_back(text[j]);
         ++j;
       }
-      if (j == text.size()) {
+      if (!closed) {
         return Status::ParseError("unterminated string at offset " +
                                   std::to_string(at));
       }
-      push(TokenKind::kString, at, std::string(text.substr(i + 1, j - i - 1)));
+      push(TokenKind::kString, at, std::move(value));
       i = j + 1;
       continue;
     }

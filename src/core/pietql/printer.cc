@@ -1,16 +1,42 @@
 #include "core/pietql/printer.h"
 
+#include <charconv>
 #include <sstream>
 
 namespace piet::core::pietql {
 
 namespace {
 
+// Shortest decimal form that round-trips through the lexer's from_chars —
+// `operator<<` would truncate to six significant digits and break
+// print-then-parse identity.
+void PrintNumber(std::ostringstream* os, double value) {
+  char buf[32];
+  auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  (*os) << std::string_view(buf, static_cast<size_t>(res.ptr - buf));
+}
+
+// String literals use SQL-style doubling: a ' inside a '-quoted literal is
+// written ''. The lexer undoes the doubling.
+void PrintEscapedString(std::ostringstream* os, const std::string& s) {
+  (*os) << '\'';
+  for (const char c : s) {
+    if (c == '\'') {
+      (*os) << "''";
+    } else {
+      (*os) << c;
+    }
+  }
+  (*os) << '\'';
+}
+
 void PrintLiteral(std::ostringstream* os, const Value& v) {
   if (v.is_string()) {
-    (*os) << "'" << v.AsStringUnchecked() << "'";
-  } else if (v.is_numeric()) {
-    (*os) << v.AsNumeric().ValueOrDie();
+    PrintEscapedString(os, v.AsStringUnchecked());
+  } else if (v.is_int()) {
+    (*os) << v.AsIntUnchecked();
+  } else if (v.is_double()) {
+    PrintNumber(os, v.AsDoubleUnchecked());
   } else {
     (*os) << v.ToString();
   }
@@ -63,11 +89,15 @@ void PrintMoCondition(std::ostringstream* os, const MoCondition& cond) {
       PrintLiteral(os, cond.literal);
       return;
     case MoCondition::Kind::kTimeBetween:
-      (*os) << "T BETWEEN " << cond.t0 << " AND " << cond.t1;
+      (*os) << "T BETWEEN ";
+      PrintNumber(os, cond.t0);
+      (*os) << " AND ";
+      PrintNumber(os, cond.t1);
       return;
     case MoCondition::Kind::kNearLayer:
-      (*os) << "NEAR(layer." << cond.near_layer << ", " << cond.radius
-            << ")";
+      (*os) << "NEAR(layer." << cond.near_layer << ", ";
+      PrintNumber(os, cond.radius);
+      (*os) << ")";
       return;
   }
 }

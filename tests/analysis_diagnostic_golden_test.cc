@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/diagnostic.h"
+
+namespace piet::analysis {
+namespace {
+
+std::string ReadGolden(const char* name) {
+  const std::filesystem::path path =
+      std::filesystem::path(PIET_SOURCE_DIR) / "tests" / "golden" / name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// The four-finding sample exercises every rendering branch: an error with no
+// fix-it, a warning and a note with fix-its, and a finding whose strings need
+// JSON escaping (quote, backslash, tab, newline).
+DiagnosticList SampleList() {
+  DiagnosticList diags;
+  diags.AddError(
+      "lint-rollup-functional", "rollup line->polyline in layer 'Lr'",
+      "fine id 0 maps to 2 coarse ids; rollup must be function-valued");
+  diags.AddWarning("lint-dead-clause", "mo WHERE clause 1 (T BETWEEN)",
+                   "empty time window: upper bound 50 precedes lower bound 100",
+                   "T BETWEEN 50 AND 100");
+  diags.AddNote("lint-redundant-clause",
+                "geo WHERE clause 2 (ATTR layer.Ln, income)",
+                "every element of layer 'Ln' already satisfies this clause",
+                "drop this clause");
+  diags.AddWarning("check-quote \"escape\"", "entity with\ttab",
+                   "message with\nnewline and backslash \\");
+  return diags;
+}
+
+TEST(DiagnosticGoldenTest, ToStringMatchesGolden) {
+  EXPECT_EQ(SampleList().ToString() + "\n", ReadGolden("diagnostics.txt"));
+}
+
+TEST(DiagnosticGoldenTest, ToJsonMatchesGolden) {
+  EXPECT_EQ(SampleList().ToJson() + "\n", ReadGolden("diagnostics.json"));
+}
+
+TEST(DiagnosticGoldenTest, JsonOmitsEmptyFixit) {
+  const Diagnostic bare{Severity::kError, "x", "e", "m", ""};
+  EXPECT_EQ(bare.ToJson(),
+            "{\"severity\":\"error\",\"check_id\":\"x\",\"entity\":\"e\","
+            "\"message\":\"m\"}");
+  const Diagnostic fixed{Severity::kError, "x", "e", "m", "f"};
+  EXPECT_EQ(fixed.ToJson(),
+            "{\"severity\":\"error\",\"check_id\":\"x\",\"entity\":\"e\","
+            "\"message\":\"m\",\"fixit\":\"f\"}");
+}
+
+TEST(DiagnosticDedupeTest, AddDropsExactRepeats) {
+  DiagnosticList diags;
+  diags.AddWarning("lint-dead-clause", "clause 1", "never matches");
+  diags.AddWarning("lint-dead-clause", "clause 1", "never matches");
+  EXPECT_EQ(diags.size(), 1u);
+
+  // A different message on the same (check_id, entity) is a new finding.
+  diags.AddWarning("lint-dead-clause", "clause 1", "other reason");
+  EXPECT_EQ(diags.size(), 2u);
+  // So is the same message on a different entity.
+  diags.AddWarning("lint-dead-clause", "clause 2", "never matches");
+  EXPECT_EQ(diags.size(), 3u);
+}
+
+TEST(DiagnosticDedupeTest, MergeRoutesThroughAdd) {
+  DiagnosticList a;
+  a.AddError("lint-graph-cycle", "layer 'Ln' graph", "cycle");
+  DiagnosticList b;
+  b.AddError("lint-graph-cycle", "layer 'Ln' graph", "cycle");
+  b.AddNote("lint-redundant-clause", "clause 3", "subsumed");
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 2u) << a.ToString();
+  EXPECT_TRUE(a.Has("lint-redundant-clause"));
+}
+
+}  // namespace
+}  // namespace piet::analysis

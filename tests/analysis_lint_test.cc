@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/lint/corpus.h"
+#include "analysis/lint/query_lint.h"
+#include "analysis/lint/schema_lint.h"
+#include "analysis/lint/time_domain.h"
+#include "analysis/query_check.h"
+#include "core/pietql/evaluator.h"
+#include "core/pietql/parser.h"
+#include "temporal/interval.h"
+#include "temporal/time_point.h"
+#include "workload/scenario.h"
+
+namespace piet::analysis::lint {
+namespace {
+
+using temporal::Interval;
+using temporal::TimePoint;
+
+constexpr double kHour = 3600.0;
+constexpr double kDay = 24.0 * kHour;
+
+// --- TimeAbstract domain ---
+
+TEST(TimeDomainTest, HourOutOfRangeIsDead) {
+  TimeAbstract t;
+  EXPECT_EQ(t.MeetLevelEquals("hour", Value(int64_t{25})), TimeFold::kDead);
+  EXPECT_TRUE(t.IsBottom());
+}
+
+TEST(TimeDomainTest, AllLevelIsAlways) {
+  TimeAbstract t;
+  EXPECT_EQ(t.MeetLevelEquals("all", Value(std::string("all"))),
+            TimeFold::kAlways);
+  EXPECT_FALSE(t.IsBottom());
+}
+
+TEST(TimeDomainTest, DisjointHourMasksMeetToBottom) {
+  TimeAbstract t;
+  // Morning is [6, 12); hour 3 lies in Night.
+  EXPECT_EQ(t.MeetLevelEquals("timeOfDay", Value(std::string("Morning"))),
+            TimeFold::kFolded);
+  EXPECT_FALSE(t.IsBottom());
+  EXPECT_EQ(t.MeetLevelEquals("hour", Value(int64_t{3})), TimeFold::kFolded);
+  EXPECT_TRUE(t.IsBottom());
+}
+
+TEST(TimeDomainTest, WindowAgainstWeekPeriodicMask) {
+  // The epoch (2000-01-01) is a Saturday, so the first day never overlaps
+  // a Wednesday...
+  TimeAbstract wed;
+  wed.MeetWindow(Interval(TimePoint(0.0), TimePoint(kDay)));
+  EXPECT_EQ(wed.MeetLevelEquals("dayOfWeek", Value(std::string("Wednesday"))),
+            TimeFold::kFolded);
+  EXPECT_TRUE(wed.IsBottom());
+
+  // ...but does overlap Saturday.
+  TimeAbstract sat;
+  sat.MeetWindow(Interval(TimePoint(0.0), TimePoint(kDay)));
+  EXPECT_EQ(sat.MeetLevelEquals("dayOfWeek", Value(std::string("Saturday"))),
+            TimeFold::kFolded);
+  EXPECT_FALSE(sat.IsBottom());
+}
+
+TEST(TimeDomainTest, LongWindowAlwaysFeasibleAgainstNonEmptyMasks) {
+  // Day-of-week and hour masks are week-periodic: any window of at least
+  // eight days meets every surviving mask bit.
+  TimeAbstract t;
+  t.MeetWindow(Interval(TimePoint(0.0), TimePoint(9.0 * kDay)));
+  t.MeetLevelEquals("dayOfWeek", Value(std::string("Wednesday")));
+  t.MeetLevelEquals("timeOfDay", Value(std::string("Night")));
+  EXPECT_FALSE(t.IsBottom());
+}
+
+TEST(TimeDomainTest, DisjointWindowsMeetToBottom) {
+  TimeAbstract t;
+  t.MeetWindow(Interval(TimePoint(0.0), TimePoint(100.0)));
+  EXPECT_FALSE(t.IsBottom());
+  t.MeetWindow(Interval(TimePoint(200.0), TimePoint(300.0)));
+  EXPECT_TRUE(t.IsBottom());
+}
+
+TEST(TimeDomainTest, LevelEqualsWindowFoldsAbsoluteLevels) {
+  auto bucket = TimeAbstract::LevelEqualsWindow("hourBucket",
+                                               Value(int64_t{3600}));
+  ASSERT_TRUE(bucket.has_value());
+  EXPECT_DOUBLE_EQ(bucket->begin.seconds, 3600.0);
+  EXPECT_DOUBLE_EQ(bucket->end.seconds, 7200.0);
+
+  // Non-canonical bucket start: no window (the clause is dead, which
+  // MeetLevelEquals reports separately).
+  EXPECT_FALSE(
+      TimeAbstract::LevelEqualsWindow("hourBucket", Value(int64_t{100}))
+          .has_value());
+  // Periodic levels never fold to a window.
+  EXPECT_FALSE(TimeAbstract::LevelEqualsWindow("hour", Value(int64_t{9}))
+                   .has_value());
+}
+
+// --- Check-ID catalog ---
+
+TEST(LintCatalogTest, CatalogIsSortedAndUnique) {
+  std::vector<std::string> ids = AllLintCheckIds();
+  EXPECT_GE(ids.size(), 17u);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+  for (const std::string& id : ids) {
+    EXPECT_EQ(id.rfind("lint-", 0), 0u) << id;
+  }
+}
+
+// --- Schema lattice verifier on raw models ---
+
+TEST(SchemaLintTest, NonFunctionalRollupFires) {
+  SchemaModel model;
+  SchemaModel::Graph graph;
+  graph.layer = "Lr";
+  graph.edges = {{gis::GeometryKind::kPoint, gis::GeometryKind::kLine},
+                 {gis::GeometryKind::kLine, gis::GeometryKind::kPolyline},
+                 {gis::GeometryKind::kPolyline, gis::GeometryKind::kAll}};
+  model.graphs.push_back(graph);
+  SchemaModel::Rollup rollup;
+  rollup.layer = "Lr";
+  rollup.fine = gis::GeometryKind::kLine;
+  rollup.coarse = gis::GeometryKind::kPolyline;
+  rollup.pairs = {{0, 0}, {0, 1}};
+  model.rollups.push_back(rollup);
+
+  DiagnosticList diags = LintSchema(model);
+  EXPECT_TRUE(diags.Has("lint-rollup-functional")) << diags.ToString();
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(SchemaLintTest, CleanFigure1InstanceLintsClean) {
+  auto scenario = workload::BuildFigure1Scenario();
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  SchemaModel model = SchemaModel::FromInstance(scenario.ValueOrDie().db->gis());
+  DiagnosticList diags = LintSchema(model);
+  EXPECT_TRUE(diags.empty()) << diags.ToString();
+}
+
+// --- Seeded-defect corpus sweep ---
+
+std::vector<std::string> CorpusPaths() {
+  std::vector<std::string> paths;
+  const std::filesystem::path dir =
+      std::filesystem::path(PIET_SOURCE_DIR) / "tests" / "lint_corpus";
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".lint") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+TEST(LintCorpusTest, EveryCaseMatchesItsExpectations) {
+  std::vector<std::string> paths = CorpusPaths();
+  ASSERT_GE(paths.size(), 15u);
+  for (const std::string& path : paths) {
+    auto parsed = ParseCorpusFile(path);
+    ASSERT_TRUE(parsed.ok()) << path << ": " << parsed.status().ToString();
+    const CorpusCase& c = parsed.ValueOrDie();
+    DiagnosticList found = LintCase(c);
+    EXPECT_TRUE(CheckExpectations(c, found).ok())
+        << path << ": " << CheckExpectations(c, found).ToString() << "\n"
+        << found.ToString();
+  }
+}
+
+TEST(LintCorpusTest, EveryExpectedIdIsInTheCatalog) {
+  std::vector<std::string> catalog = AllLintCheckIds();
+  for (const std::string& path : CorpusPaths()) {
+    auto parsed = ParseCorpusFile(path);
+    ASSERT_TRUE(parsed.ok()) << path << ": " << parsed.status().ToString();
+    for (const std::string& id : parsed.ValueOrDie().expected_ids) {
+      EXPECT_TRUE(std::binary_search(catalog.begin(), catalog.end(), id))
+          << path << " expects unknown check ID " << id;
+    }
+  }
+}
+
+// --- Evaluator wiring ---
+
+class LintEvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto scenario = workload::BuildFigure1Scenario();
+    ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+    scenario_ = std::move(scenario).ValueOrDie();
+  }
+
+  workload::Figure1Scenario scenario_;
+};
+
+TEST_F(LintEvaluatorTest, WarnModeSurfacesLintFindings) {
+  core::pietql::Evaluator warn(scenario_.db.get(), CheckMode::kWarn);
+  auto result = warn.EvaluateString(
+      "SELECT layer.Ln; FROM S; | SELECT COUNT(*) FROM FMbus "
+      "WHERE T BETWEEN 200 AND 100;");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const DiagnosticList& diags = result.ValueOrDie().diagnostics;
+  ASSERT_TRUE(diags.Has("lint-dead-clause")) << diags.ToString();
+  // The finding carries a machine-applicable swap fix-it.
+  bool has_fixit = false;
+  for (const Diagnostic& d : diags) {
+    if (d.check_id == "lint-dead-clause") {
+      has_fixit = d.fixit == "T BETWEEN 100 AND 200";
+    }
+  }
+  EXPECT_TRUE(has_fixit) << diags.ToString();
+}
+
+TEST_F(LintEvaluatorTest, StrictModeStillAcceptsLintWarnings) {
+  // Query lint findings are warnings/notes by design: a dead clause
+  // evaluates to an empty result, which kStrict must keep accepting.
+  core::pietql::Evaluator strict(scenario_.db.get(), CheckMode::kStrict);
+  auto result = strict.EvaluateString(
+      "SELECT layer.Ln; FROM S; | SELECT COUNT(*) FROM FMbus "
+      "WHERE T BETWEEN 200 AND 100;");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.ValueOrDie().diagnostics.Has("lint-dead-clause"));
+  EXPECT_FALSE(result.ValueOrDie().diagnostics.HasErrors());
+}
+
+TEST_F(LintEvaluatorTest, OffModeRunsNoLint) {
+  core::pietql::Evaluator off(scenario_.db.get(), CheckMode::kOff);
+  auto result = off.EvaluateString(
+      "SELECT layer.Ln; FROM S; | SELECT COUNT(*) FROM FMbus "
+      "WHERE T BETWEEN 200 AND 100;");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.ValueOrDie().diagnostics.empty());
+}
+
+TEST_F(LintEvaluatorTest, FastpathNoteCarriesRewriteFixit) {
+  QueryContext context;
+  context.gis = &scenario_.db->gis();
+  context.moft_names = scenario_.db->MoftNames();
+  auto query = core::pietql::Parse(
+      "SELECT layer.Ln; FROM S; | SELECT COUNT(*) FROM FMbus "
+      "WHERE T BETWEEN 0 AND 7200 AND TIME.hourBucket = 3600;");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  DiagnosticList diags = LintQuery(context, query.ValueOrDie());
+  ASSERT_TRUE(diags.Has("lint-fastpath-defeated")) << diags.ToString();
+  bool found = false;
+  for (const Diagnostic& d : diags) {
+    if (d.check_id == "lint-fastpath-defeated") {
+      found = true;
+      EXPECT_EQ(d.fixit,
+                "rewrite TIME.hourBucket = 3600 as T BETWEEN 3600 AND 7200");
+      EXPECT_EQ(d.severity, Severity::kNote);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace piet::analysis::lint

@@ -97,6 +97,74 @@ TEST(PietQlPrinterTest, CanonicalForms) {
   EXPECT_TRUE(SameQuery(q, reparsed.ValueOrDie()));
 }
 
+// Escaping regressions: quotes inside string literals survive the printer
+// (SQL-style doubling) and the lexer undoes the doubling.
+TEST(PietQlPrinterTest, StringLiteralQuotesRoundTrip) {
+  Query q;
+  q.geo.select = {{"Ln"}};
+  q.geo.schema = "S";
+  GeoCondition cond;
+  cond.kind = GeoCondition::Kind::kAttrCompare;
+  cond.a = {"Ln"};
+  cond.attribute = "name";
+  cond.op = CompareOp::kEq;
+  cond.literal = Value("O'Brien \"quoted\"");
+  q.geo.where.push_back(cond);
+
+  std::string text = Print(q);
+  EXPECT_NE(text.find("'O''Brien \"quoted\"'"), std::string::npos) << text;
+  auto reparsed = Parse(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString()
+                             << "\n  text: " << text;
+  EXPECT_TRUE(SameQuery(q, reparsed.ValueOrDie())) << text;
+}
+
+// Doubles print in shortest round-trip form, not six significant digits:
+// 1234567.89 used to print as 1.23457e+06 and reparse to a different value.
+TEST(PietQlPrinterTest, DoubleLiteralsRoundTripExactly) {
+  for (double v : {1234567.89, 0.30000000000000004, 1e-9, 1500.0}) {
+    Query q;
+    q.geo.select = {{"Ln"}};
+    q.geo.schema = "S";
+    GeoCondition cond;
+    cond.kind = GeoCondition::Kind::kAttrCompare;
+    cond.a = {"Ln"};
+    cond.attribute = "income";
+    cond.op = CompareOp::kLt;
+    cond.literal = Value(v);
+    q.geo.where.push_back(cond);
+    MoQuery mo;
+    mo.agg.kind = MoAggregate::Kind::kCountAll;
+    mo.moft = "FM";
+    MoCondition between;
+    between.kind = MoCondition::Kind::kTimeBetween;
+    between.t0 = v;
+    between.t1 = v + 0.125;
+    mo.where.push_back(between);
+    q.mo = std::move(mo);
+
+    std::string text = Print(q);
+    auto reparsed = Parse(text);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString()
+                               << "\n  text: " << text;
+    EXPECT_TRUE(SameQuery(q, reparsed.ValueOrDie())) << text;
+  }
+  // The golden canonical form is unchanged: integral doubles still print
+  // without an exponent or trailing zeros.
+  Query q;
+  q.geo.select = {{"Ln"}};
+  q.geo.schema = "S";
+  GeoCondition cond;
+  cond.kind = GeoCondition::Kind::kAttrCompare;
+  cond.a = {"Ln"};
+  cond.attribute = "income";
+  cond.op = CompareOp::kLt;
+  cond.literal = Value(1500.0);
+  q.geo.where.push_back(cond);
+  EXPECT_EQ(Print(q), "SELECT layer.Ln; FROM S; "
+                      "WHERE ATTR(layer.Ln, income) < 1500");
+}
+
 // Property: print-parse round trip over randomized ASTs.
 class PietQlRoundTrip : public ::testing::TestWithParam<int> {};
 
@@ -104,6 +172,23 @@ TEST_P(PietQlRoundTrip, PrintParseIsIdentity) {
   Random rng(6000 + GetParam());
   auto random_ident = [&](const char* prefix) {
     return std::string(prefix) + std::to_string(rng.UniformInt(0, 9));
+  };
+  // Strings that exercise the quoting rules, not just clean identifiers.
+  auto random_string = [&]() -> std::string {
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        return random_ident("val");
+      case 1:
+        return "it's " + random_ident("v");
+      case 2:
+        return "''" + random_ident("v") + "'";
+      default:
+        return "a \"b\" " + random_ident("v");
+    }
+  };
+  // Doubles with fractional parts force shortest-round-trip printing.
+  auto random_double = [&]() {
+    return static_cast<double>(rng.UniformInt(0, 5000000)) / 7.0;
   };
   for (int trial = 0; trial < 40; ++trial) {
     Query q;
@@ -131,10 +216,8 @@ TEST_P(PietQlRoundTrip, PrintParseIsIdentity) {
           cond.a = q.geo.select.front();
           cond.attribute = random_ident("attr");
           cond.op = static_cast<CompareOp>(rng.UniformInt(0, 4));
-          cond.literal = rng.Bernoulli(0.5)
-                             ? Value(static_cast<double>(
-                                   rng.UniformInt(0, 5000)))
-                             : Value(random_ident("val"));
+          cond.literal = rng.Bernoulli(0.5) ? Value(random_double())
+                                            : Value(random_string());
       }
       q.geo.where.push_back(std::move(cond));
     }
@@ -158,17 +241,17 @@ TEST_P(PietQlRoundTrip, PrintParseIsIdentity) {
           case 2:
             cond.kind = MoCondition::Kind::kTimeEquals;
             cond.time_level = random_ident("level");
-            cond.literal = Value(random_ident("member"));
+            cond.literal = Value(random_string());
             break;
           case 3:
             cond.kind = MoCondition::Kind::kTimeBetween;
-            cond.t0 = static_cast<double>(rng.UniformInt(0, 1000));
-            cond.t1 = cond.t0 + static_cast<double>(rng.UniformInt(1, 1000));
+            cond.t0 = random_double();
+            cond.t1 = cond.t0 + random_double() + 1.0;
             break;
           default:
             cond.kind = MoCondition::Kind::kNearLayer;
             cond.near_layer = random_ident("L");
-            cond.radius = static_cast<double>(rng.UniformInt(1, 100));
+            cond.radius = random_double();
             spatial_used = true;
         }
         mo.where.push_back(std::move(cond));

@@ -386,6 +386,63 @@ TEST(EvaluatorDeterminismTest, QueryResultsMatchSerial) {
   }
 }
 
+// The linter stage must be unobservable at CheckMode::kOff: these are the
+// rendered results of all eight query shapes captured before the lint stage
+// existed. Any drift here means the kOff path is no longer byte-identical.
+TEST(EvaluatorDeterminismTest, OffModeMatchesFrozenBaselines) {
+  auto scenario = workload::BuildFigure1Scenario().ValueOrDie();
+  ASSERT_TRUE(scenario.db->BuildOverlay({scenario.neighborhoods_layer}).ok());
+  core::pietql::Evaluator off(scenario.db.get());  // Defaults to kOff.
+
+  const struct {
+    const char* query;
+    const char* expected;
+  } kBaselines[] = {
+      {"SELECT layer.Ln; FROM PietSchema; "
+       "WHERE ATTR(layer.Ln, income) < 1500 "
+       "| SELECT RATE PER HOUR FROM FMbus "
+       "WHERE INSIDE RESULT AND TIME.timeOfDay = 'Morning'",
+       "result layer 'Ln': 1 geometries; aggregate = 1.33333"},
+      {"SELECT layer.Ln; FROM PietSchema; "
+       "| SELECT COUNT(DISTINCT OID) FROM FMbus WHERE INSIDE RESULT",
+       "result layer 'Ln': 6 geometries; aggregate = 6"},
+      {"SELECT layer.Ln; FROM PietSchema; "
+       "| SELECT COUNT(DISTINCT OID) FROM FMbus WHERE PASSES THROUGH RESULT",
+       "result layer 'Ln': 6 geometries; aggregate = 6"},
+      {"SELECT layer.Ln; FROM PietSchema; "
+       "| SELECT COUNT(*) FROM FMbus WHERE NEAR(layer.Ls, 10)",
+       "result layer 'Ln': 6 geometries; aggregate = 3"},
+      {"SELECT layer.Ln; FROM PietSchema; "
+       "| SELECT COUNT(*) FROM FMbus",
+       "result layer 'Ln': 6 geometries; aggregate = 12"},
+      {"SELECT layer.Ln; FROM PietSchema; "
+       "| SELECT COUNT(*) FROM FMbus "
+       "WHERE T BETWEEN 189493200 AND 189500000",
+       "result layer 'Ln': 6 geometries; aggregate = 4"},
+      {"SELECT layer.Ln; FROM PietSchema; "
+       "WHERE ATTR(layer.Ln, income) < 1500 "
+       "| SELECT RATE PER HOUR FROM FMbus WHERE INSIDE RESULT "
+       "GROUP BY TIME.hour",
+       "result layer 'Ln': 1 geometries\n"
+       "hour | value\n"
+       "5 | 1\n"
+       "6 | 1\n"
+       "7 | 2\n"
+       "8 | 1\n"},
+      {"SELECT layer.Ln, layer.Lr; FROM PietSchema; "
+       "WHERE INTERSECTION(layer.Ln, layer.Lr)",
+       "result layer 'Ln': 5 geometries"},
+  };
+  for (const auto& baseline : kBaselines) {
+    auto result = off.EvaluateString(baseline.query);
+    ASSERT_TRUE(result.ok())
+        << baseline.query << ": " << result.status().ToString();
+    EXPECT_EQ(result.ValueOrDie().ToString(), baseline.expected)
+        << baseline.query;
+    EXPECT_TRUE(result.ValueOrDie().diagnostics.empty()) << baseline.query;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Classification cache lifecycle.
 
