@@ -4,16 +4,23 @@
 // anything, and prints structured diagnostics with fix-its.
 //
 // Usage:
-//   pietql_lint [--json] [--figure1] [case.lint ...]
+//   pietql_lint [--json] [--figure1] [--fix] [case.lint ...]
 //
 //   --figure1   lint the paper's six-bus Figure 1 scenario (schema +
 //               canonical queries); must come out clean
 //   --json      print diagnostics as a JSON array instead of text
+//   --fix       apply the plan rewriter's fix-its to each case's queries
+//               and print the rewritten Piet-QL (round-tripped through the
+//               printer) instead of linting; also verifies any
+//               `expect-rewrite` directive
 //
 // Exit status:
 //   0  every case matched its `expect` set (cases without `expect` lines
-//      must produce no findings) and --figure1, when given, was clean
-//   1  some case missed/overshot its expectations, or a clean case warned
+//      must produce no findings) and --figure1, when given, was clean;
+//      under --fix, every fix-it applied (rewritten text re-parses, the
+//      rewrite is idempotent, and `expect-rewrite` sets matched)
+//   1  some case missed/overshot its expectations, a clean case warned,
+//      or a --fix rewrite failed to apply
 //   2  usage / IO errors
 
 #include <cstdio>
@@ -26,7 +33,9 @@
 #include "analysis/lint/query_lint.h"
 #include "analysis/lint/schema_lint.h"
 #include "analysis/query_check.h"
+#include "analysis/rewrite/rewriter.h"
 #include "core/pietql/parser.h"
+#include "core/pietql/printer.h"
 #include "workload/scenario.h"
 
 namespace {
@@ -93,20 +102,81 @@ bool LintFigure1(bool json) {
   return clean;
 }
 
+/// --fix: applies the rewriter's fix-its to each of the case's queries and
+/// prints the rewritten Piet-QL. A fix-it fails to apply when the
+/// rewritten text does not re-parse, a second rewrite pass changes it
+/// again (non-idempotent), or an `expect-rewrite` directive mismatches.
+bool FixCase(const CorpusCase& c) {
+  bool ok = true;
+  if (c.instance == nullptr) {
+    std::printf("%s: schema-defect case, no queries to rewrite\n",
+                c.name.c_str());
+  } else {
+    piet::analysis::rewrite::RewriteContext context;
+    context.gis = c.instance.get();
+    for (size_t i = 0; i < c.queries.size(); ++i) {
+      auto parsed = piet::core::pietql::Parse(c.queries[i]);
+      if (!parsed.ok()) {
+        // An unparseable query is a lint finding (lint-parse-error), not a
+        // fix-it failure: there is nothing to rewrite.
+        std::printf("%s query %zu: unparseable, skipped\n", c.name.c_str(),
+                    i + 1);
+        continue;
+      }
+      piet::analysis::rewrite::RewritePlan plan =
+          piet::analysis::rewrite::RewriteQuery(context,
+                                                parsed.ValueOrDie());
+      const std::string rewritten = piet::core::pietql::Print(plan.query);
+      std::printf("%s query %zu: %s\n", c.name.c_str(), i + 1,
+                  rewritten.c_str());
+      for (const piet::analysis::rewrite::AppliedRewrite& a : plan.applied) {
+        std::printf("  applied %s [%s]: %s\n", a.rule_id.c_str(),
+                    a.entity.c_str(), a.detail.c_str());
+      }
+      auto reparsed = piet::core::pietql::Parse(rewritten);
+      if (!reparsed.ok()) {
+        std::printf("  FIX FAILED: rewritten text does not re-parse: %s\n",
+                    reparsed.status().ToString().c_str());
+        ok = false;
+        continue;
+      }
+      piet::analysis::rewrite::RewritePlan second =
+          piet::analysis::rewrite::RewriteQuery(context,
+                                                reparsed.ValueOrDie());
+      if (piet::core::pietql::Print(second.query) != rewritten) {
+        std::printf("  FIX FAILED: rewrite is not idempotent (second pass "
+                    "gave: %s)\n",
+                    piet::core::pietql::Print(second.query).c_str());
+        ok = false;
+      }
+    }
+  }
+  auto verdict = piet::analysis::lint::CheckRewriteExpectations(c);
+  if (!verdict.ok()) {
+    std::printf("  %s\n", verdict.ToString().c_str());
+    ok = false;
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
   bool figure1 = false;
+  bool fix = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--figure1") == 0) {
       figure1 = true;
+    } else if (std::strcmp(argv[i], "--fix") == 0) {
+      fix = true;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr,
-                   "usage: pietql_lint [--json] [--figure1] [case.lint ...]\n");
+                   "usage: pietql_lint [--json] [--figure1] [--fix] "
+                   "[case.lint ...]\n");
       return 2;
     } else {
       files.emplace_back(argv[i]);
@@ -114,7 +184,8 @@ int main(int argc, char** argv) {
   }
   if (!figure1 && files.empty()) {
     std::fprintf(stderr,
-                 "usage: pietql_lint [--json] [--figure1] [case.lint ...]\n");
+                 "usage: pietql_lint [--json] [--figure1] [--fix] "
+                 "[case.lint ...]\n");
     return 2;
   }
 
@@ -130,6 +201,12 @@ int main(int argc, char** argv) {
       return 2;
     }
     const CorpusCase& c = parsed.ValueOrDie();
+    if (fix) {
+      if (!FixCase(c)) {
+        all_ok = false;
+      }
+      continue;
+    }
     const DiagnosticList found = piet::analysis::lint::LintCase(c);
     auto verdict = piet::analysis::lint::CheckExpectations(c, found);
     std::printf("%s: %zu finding(s)%s\n", c.name.c_str(), found.size(),

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Runs the E2/E3/E10/E11 benchmark suites (Release build) and writes JSON
-# baselines at the repo root: BENCH_overlay.json, BENCH_query_types.json,
-# BENCH_moft_scan.json, and BENCH_obs_overhead.json. The benches sweep a
-# `threads` axis (1 vs 4 via Engine/Database num_threads), so the baselines
-# carry the serial-vs-parallel comparison; counters record problem size
+# Runs the E2/E3/E10/E11/E12 benchmark suites (Release build) and writes
+# JSON baselines at the repo root: BENCH_overlay.json,
+# BENCH_query_types.json, BENCH_moft_scan.json, BENCH_obs_overhead.json,
+# and BENCH_pietql_rewrite.json (raw vs rewritten latency per query
+# type). The benches sweep a `threads` axis (1 vs 4 via Engine/Database
+# num_threads), so the baselines carry the serial-vs-parallel
+# comparison; counters record problem size
 # (polygons, samples, points) alongside.
 #
 # Each run also executes with PIET_OBS=1 and writes the merged metrics
@@ -26,7 +28,8 @@ cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 
 echo "== build benches =="
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-  --target bench_overlay bench_query_types bench_moft_scan bench_obs_overhead
+  --target bench_overlay bench_query_types bench_moft_scan \
+  bench_obs_overhead bench_pietql_rewrite
 
 extra_args=()
 if [[ -n "${FILTER:-}" ]]; then
@@ -52,9 +55,11 @@ run_bench bench_overlay "${extra_args[@]}" "$@"
 run_bench bench_query_types "${extra_args[@]}" "$@"
 run_bench bench_moft_scan "${extra_args[@]}" "$@"
 run_bench bench_obs_overhead "${extra_args[@]}" "$@"
+run_bench bench_pietql_rewrite "${extra_args[@]}" "$@"
 
 echo "== obs disabled-path overhead self-check =="
 PIET_OBS_OVERHEAD_CHECK=1 "${BUILD_DIR}/bench/bench_obs_overhead"
 
 echo "== baselines written: BENCH_overlay.json BENCH_query_types.json" \
-     "BENCH_moft_scan.json BENCH_obs_overhead.json (+ *_metrics.json) =="
+     "BENCH_moft_scan.json BENCH_obs_overhead.json" \
+     "BENCH_pietql_rewrite.json (+ *_metrics.json) =="

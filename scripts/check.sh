@@ -26,6 +26,8 @@ if [[ "${MODE}" == "--lint" ]]; then
   "${BUILD_DIR}/examples/pietql_lint" tests/lint_corpus/*.lint
   echo "== lint figure-1 scenario (must be clean) =="
   "${BUILD_DIR}/examples/pietql_lint" --figure1
+  echo "== rewrite corpus: --fix round-trips + expect-rewrite =="
+  "${BUILD_DIR}/examples/pietql_lint" --fix tests/lint_corpus/*.lint
   echo "== lint checks passed =="
   exit 0
 fi

@@ -10,6 +10,7 @@
 
 #include "analysis/lint/query_lint.h"
 #include "analysis/query_check.h"
+#include "analysis/rewrite/rewriter.h"
 #include "core/pietql/parser.h"
 #include "geometry/wkt.h"
 #include "gis/layer.h"
@@ -44,8 +45,8 @@ std::string_view Trim(std::string_view s) {
   return s;
 }
 
-Status ParseError(size_t lineno, const std::string& what) {
-  return Status::ParseError("line " + std::to_string(lineno) + ": " + what);
+Status ParseError(const std::string& what) {
+  return Status::ParseError(what);
 }
 
 /// "t:value" with t in i/d/s/b, the gis/io attribute tagging (strings raw —
@@ -203,31 +204,35 @@ Result<CorpusCase> ParseCorpusText(std::string name, std::string_view text) {
     const std::string_view rest =
         space == std::string_view::npos ? std::string_view()
                                         : Trim(line.substr(space + 1));
+    // The whole directive parse runs inside one Status-returning lambda so
+    // every failure — bad argument counts and sub-parses alike — comes
+    // back with a "<case-name>:<line>:" prefix naming its source line.
+    Status line_status = [&]() -> Status {
     if (directive == "query") {
       if (rest.empty()) {
-        return ParseError(lineno, "query needs text");
+        return ParseError("query needs text");
       }
       c.queries.emplace_back(rest);
-      continue;
+      return Status::OK();
     }
     std::vector<std::string> args = SplitTokens(rest);
     if (directive == "layer") {
       if (args.size() != 2) {
-        return ParseError(lineno, "layer <name> <kind>");
+        return ParseError("layer <name> <kind>");
       }
       PIET_ASSIGN_OR_RETURN(GeometryKind kind,
                             gis::GeometryKindFromString(args[1]));
       layers[args[0]].kind = kind;
     } else if (directive == "graph") {
       if (args.empty()) {
-        return ParseError(lineno, "graph <layer> <fine>-><coarse>...");
+        return ParseError("graph <layer> <fine>-><coarse>...");
       }
       SchemaModel::Graph graph;
       graph.layer = args[0];
       for (size_t i = 1; i < args.size(); ++i) {
         const size_t arrow = args[i].find("->");
         if (arrow == std::string::npos) {
-          return ParseError(lineno, "bad edge '" + args[i] + "'");
+          return ParseError("bad edge '" + args[i] + "'");
         }
         PIET_ASSIGN_OR_RETURN(
             GeometryKind fine,
@@ -240,27 +245,27 @@ Result<CorpusCase> ParseCorpusText(std::string name, std::string_view text) {
       c.model.graphs.push_back(std::move(graph));
     } else if (directive == "elem") {
       if (args.empty() || rest.size() <= args[0].size()) {
-        return ParseError(lineno, "elem <layer> <WKT>");
+        return ParseError("elem <layer> <WKT>");
       }
       auto it = layers.find(args[0]);
       if (it == layers.end()) {
-        return ParseError(lineno, "elem before layer '" + args[0] + "'");
+        return ParseError("elem before layer '" + args[0] + "'");
       }
       it->second.wkts.emplace_back(Trim(rest.substr(args[0].size())));
     } else if (directive == "attrval") {
       if (args.size() != 4) {
-        return ParseError(lineno, "attrval <layer> <id> <name> <t:value>");
+        return ParseError("attrval <layer> <id> <name> <t:value>");
       }
       auto it = layers.find(args[0]);
       if (it == layers.end()) {
-        return ParseError(lineno, "attrval before layer '" + args[0] + "'");
+        return ParseError("attrval before layer '" + args[0] + "'");
       }
       PIET_ASSIGN_OR_RETURN(int64_t id, ParseInt(args[1]));
       PIET_ASSIGN_OR_RETURN(Value value, ParseTaggedValue(args[3]));
       it->second.attrvals.emplace_back(id, args[2], std::move(value));
     } else if (directive == "ids") {
       if (args.size() < 2) {
-        return ParseError(lineno, "ids <layer> <kind> <id>...");
+        return ParseError("ids <layer> <kind> <id>...");
       }
       SchemaModel::LevelUniverse universe;
       universe.layer = args[0];
@@ -273,7 +278,7 @@ Result<CorpusCase> ParseCorpusText(std::string name, std::string_view text) {
       c.model.levels.push_back(std::move(universe));
     } else if (directive == "attr") {
       if (args.size() != 3) {
-        return ParseError(lineno, "attr <name> <kind> <layer>");
+        return ParseError("attr <name> <kind> <layer>");
       }
       PIET_ASSIGN_OR_RETURN(GeometryKind kind,
                             gis::GeometryKindFromString(args[1]));
@@ -281,7 +286,7 @@ Result<CorpusCase> ParseCorpusText(std::string name, std::string_view text) {
           gis::AttributeBinding{args[0], kind, args[2]});
     } else if (directive == "rollup") {
       if (args.size() < 3) {
-        return ParseError(lineno, "rollup <layer> <fine> <coarse> <f>:<c>...");
+        return ParseError("rollup <layer> <fine> <coarse> <f>:<c>...");
       }
       SchemaModel::Rollup rollup;
       rollup.layer = args[0];
@@ -292,7 +297,7 @@ Result<CorpusCase> ParseCorpusText(std::string name, std::string_view text) {
       for (size_t i = 3; i < args.size(); ++i) {
         const size_t colon = args[i].find(':');
         if (colon == std::string::npos) {
-          return ParseError(lineno, "bad pair '" + args[i] + "'");
+          return ParseError("bad pair '" + args[i] + "'");
         }
         PIET_ASSIGN_OR_RETURN(int64_t fine_id,
                               ParseInt(args[i].substr(0, colon)));
@@ -303,7 +308,7 @@ Result<CorpusCase> ParseCorpusText(std::string name, std::string_view text) {
       c.model.rollups.push_back(std::move(rollup));
     } else if (directive == "alpha") {
       if (args.size() != 3) {
-        return ParseError(lineno, "alpha <attr> <t:value> <geomId>");
+        return ParseError("alpha <attr> <t:value> <geomId>");
       }
       PIET_ASSIGN_OR_RETURN(Value member, ParseTaggedValue(args[1]));
       PIET_ASSIGN_OR_RETURN(int64_t geom, ParseInt(args[2]));
@@ -321,7 +326,7 @@ Result<CorpusCase> ParseCorpusText(std::string name, std::string_view text) {
       binding->pairs.emplace_back(std::move(member), geom);
     } else if (directive == "fact") {
       if (args.size() < 3) {
-        return ParseError(lineno, "fact <name> <layer> <kind> [<id>...]");
+        return ParseError("fact <name> <layer> <kind> [<id>...]");
       }
       SchemaModel::FactTable fact;
       fact.name = args[0];
@@ -335,21 +340,36 @@ Result<CorpusCase> ParseCorpusText(std::string name, std::string_view text) {
       c.model.fact_tables.push_back(std::move(fact));
     } else if (directive == "moft") {
       if (args.size() != 1) {
-        return ParseError(lineno, "moft <name>");
+        return ParseError("moft <name>");
       }
       c.moft_names.push_back(args[0]);
     } else if (directive == "expect") {
       for (std::string& id : args) {
         c.expected_ids.push_back(std::move(id));
       }
+    } else if (directive == "expect-rewrite") {
+      c.expect_rewrite_set = true;
+      for (std::string& id : args) {
+        c.expected_rewrite_ids.push_back(std::move(id));
+      }
     } else {
-      return ParseError(lineno, "unknown directive '" + directive + "'");
+      return ParseError("unknown directive '" + directive + "'");
+    }
+    return Status::OK();
+    }();
+    if (!line_status.ok()) {
+      return line_status.WithContext(c.name + ":" + std::to_string(lineno));
     }
   }
   std::sort(c.expected_ids.begin(), c.expected_ids.end());
   c.expected_ids.erase(
       std::unique(c.expected_ids.begin(), c.expected_ids.end()),
       c.expected_ids.end());
+  std::sort(c.expected_rewrite_ids.begin(), c.expected_rewrite_ids.end());
+  c.expected_rewrite_ids.erase(
+      std::unique(c.expected_rewrite_ids.begin(),
+                  c.expected_rewrite_ids.end()),
+      c.expected_rewrite_ids.end());
 
   // Layers with elements implicitly declare their own level's universe.
   for (const auto& [name, raw] : layers) {
@@ -424,6 +444,63 @@ Status CheckExpectations(const CorpusCase& c, const DiagnosticList& found) {
   }
   std::ostringstream os;
   os << "case '" << c.name << "':";
+  if (!missing.empty()) {
+    os << " missing";
+    for (const std::string& id : missing) {
+      os << " " << id;
+    }
+  }
+  if (!unexpected.empty()) {
+    os << (missing.empty() ? " " : ";") << " unexpected";
+    for (const std::string& id : unexpected) {
+      os << " " << id;
+    }
+  }
+  return Status::InvalidArgument(os.str());
+}
+
+std::vector<std::string> RewriteRuleIdsForCase(const CorpusCase& c) {
+  std::vector<std::string> out;
+  if (c.instance == nullptr) {
+    return out;
+  }
+  rewrite::RewriteContext context;
+  context.gis = c.instance.get();
+  for (const std::string& q : c.queries) {
+    auto parsed = core::pietql::Parse(q);
+    if (!parsed.ok()) {
+      continue;
+    }
+    rewrite::RewritePlan plan =
+        rewrite::RewriteQuery(context, parsed.ValueOrDie());
+    for (const rewrite::AppliedRewrite& a : plan.applied) {
+      out.push_back(a.rule_id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Status CheckRewriteExpectations(const CorpusCase& c) {
+  if (!c.expect_rewrite_set) {
+    return Status::OK();
+  }
+  const std::vector<std::string> have = RewriteRuleIdsForCase(c);
+  std::vector<std::string> missing;
+  std::set_difference(c.expected_rewrite_ids.begin(),
+                      c.expected_rewrite_ids.end(), have.begin(), have.end(),
+                      std::back_inserter(missing));
+  std::vector<std::string> unexpected;
+  std::set_difference(have.begin(), have.end(),
+                      c.expected_rewrite_ids.begin(),
+                      c.expected_rewrite_ids.end(),
+                      std::back_inserter(unexpected));
+  if (missing.empty() && unexpected.empty()) {
+    return Status::OK();
+  }
+  std::ostringstream os;
+  os << "case '" << c.name << "' rewrite:";
   if (!missing.empty()) {
     os << " missing";
     for (const std::string& id : missing) {

@@ -31,13 +31,24 @@ namespace piet::analysis::lint {
 ///   moft <name>                               register a MOFT name
 ///   query <verbatim Piet-QL>                  a query to lint
 ///   expect <check-id> ...                     expected finding IDs
+///   expect-rewrite <rule-id> ...              expected rw-* rule IDs the
+///                                             plan rewriter applies over
+///                                             the case's queries
 ///
-/// Layers with elements implicitly declare the universe of their own kind.
+/// Parse errors carry a `<case-name>:<line>:` prefix naming the offending
+/// directive line. Layers with elements implicitly declare the universe of
+/// their own kind.
 struct CorpusCase {
   std::string name;
   SchemaModel model;
   std::vector<std::string> queries;
   std::vector<std::string> expected_ids;  ///< Sorted, unique.
+  /// Sorted, unique rw-* IDs from `expect-rewrite` directives. Meaningful
+  /// only when `expect_rewrite_set` — an absent directive leaves the
+  /// rewriter unconstrained (pre-rewriter cases keep their meaning), while
+  /// a present-but-empty one asserts no rule fires.
+  std::vector<std::string> expected_rewrite_ids;
+  bool expect_rewrite_set = false;
   /// A live instance for query linting, built when the schema is clean
   /// enough for the gis API to accept it; null for schema-defect cases
   /// (their queries are skipped).
@@ -57,6 +68,17 @@ DiagnosticList LintCase(const CorpusCase& c);
 /// set exactly; otherwise InvalidArgument naming the missing / unexpected
 /// IDs. An absent `expect` directive means the case must lint clean.
 Status CheckExpectations(const CorpusCase& c, const DiagnosticList& found);
+
+/// The sorted, distinct rw-* rule IDs the plan rewriter applies across the
+/// case's parseable queries (no overlay — corpus cases carry none).
+/// Unparseable queries and schema-defect cases contribute nothing, like
+/// LintCase.
+std::vector<std::string> RewriteRuleIdsForCase(const CorpusCase& c);
+
+/// OK when `expect-rewrite` is absent, or when RewriteRuleIdsForCase
+/// equals the expected set exactly; otherwise InvalidArgument naming the
+/// missing / unexpected rule IDs.
+Status CheckRewriteExpectations(const CorpusCase& c);
 
 }  // namespace piet::analysis::lint
 

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/parallel.h"
+#include "core/geometry/batch.h"
 #include "moving/bead.h"
 #include "moving/traj_ops.h"
 #include "obs/metrics.h"
@@ -347,6 +348,70 @@ Result<FactTable> QueryEngine::SampleRegion(const std::string& moft_name,
   }
 
   const SampleView samples = moft->Scan();
+  if (strategy == Strategy::kNaive) {
+    // Batch point-in-polygon: gather each tile's time-passing samples into
+    // dense coordinate columns and run the batch kernel once per
+    // qualifying polygon. Verdicts are bit-identical to Polygon::Contains,
+    // rows come out in the scalar (sample, qualifying-polygon) order, and
+    // point_tests counts the same logical sample-times-polygon probes the
+    // naive loop performs (it has no early exit).
+    std::vector<batch::PolygonBatcher> batchers;
+    batchers.reserve(ctx.qualifying_polygons.size());
+    for (const geometry::Polygon* p : ctx.qualifying_polygons) {
+      batchers.emplace_back(p);
+    }
+    PIET_RETURN_NOT_OK(ParallelAppend(
+        threads, samples.size(), &out, &stats_,
+        [&](size_t begin, size_t end, std::vector<Row>* rows,
+            EngineStats* stats) -> Status {
+          constexpr size_t kTileRows = 1024;
+          batch::BatchScratch scratch;
+          std::vector<size_t> idx;    // Passing sample indices of the tile.
+          std::vector<double> tx;
+          std::vector<double> ty;
+          std::vector<uint8_t> hits;  // Polygon-major tile verdicts.
+          std::vector<uint8_t> one;
+          for (size_t base = begin; base < end; base += kTileRows) {
+            const size_t stop = std::min(end, base + kTileRows);
+            idx.clear();
+            tx.clear();
+            ty.clear();
+            for (size_t i = base; i < stop; ++i) {
+              const Sample s = samples[i];
+              ++stats->samples_scanned;
+              if (!when.Matches(db_->time_dimension(), s.t)) {
+                continue;
+              }
+              idx.push_back(i);
+              tx.push_back(s.pos.x);
+              ty.push_back(s.pos.y);
+            }
+            if (idx.empty()) {
+              continue;
+            }
+            const size_t m = idx.size();
+            hits.assign(batchers.size() * m, 0);
+            for (size_t q = 0; q < batchers.size(); ++q) {
+              batchers[q].ContainsBatch(tx, ty, &scratch, &one);
+              std::copy(one.begin(), one.end(), hits.begin() + q * m);
+            }
+            stats->point_tests += batchers.size() * m;
+            for (size_t k = 0; k < m; ++k) {
+              const Sample s = samples[idx[k]];
+              for (size_t q = 0; q < batchers.size(); ++q) {
+                if (hits[q * m + k] != 0) {
+                  rows->push_back({Value(s.oid), Value(s.t.seconds),
+                                   Value(ctx.qualifying[q])});
+                }
+              }
+            }
+          }
+          return Status::OK();
+        }));
+    query_obs.set_rows_matched(out.num_rows());
+    return out;
+  }
+
   PIET_RETURN_NOT_OK(ParallelAppend(
       threads, samples.size(), &out, &stats_,
       [&](size_t begin, size_t end, std::vector<Row>* rows,

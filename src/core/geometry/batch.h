@@ -1,0 +1,79 @@
+#ifndef PIET_CORE_GEOMETRY_BATCH_H_
+#define PIET_CORE_GEOMETRY_BATCH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/polygon.h"
+
+namespace piet::core::batch {
+
+/// Reusable buffers of one batch call, so per-tile work allocates nothing
+/// in steady state (one scratch per worker chunk, like the LocateBatch
+/// scratch of gis::OverlayDb).
+struct BatchScratch {
+  std::vector<uint8_t> mask;     ///< Per-input bounding-box verdict.
+  std::vector<uint32_t> cand;    ///< Surviving input indices (compacted).
+  std::vector<double> px;        ///< Compacted candidate x coordinates.
+  std::vector<double> py;        ///< Compacted candidate y coordinates.
+  std::vector<uint8_t> state;    ///< Per-candidate ring-sweep state.
+  std::vector<uint8_t> loc;      ///< Per-candidate location verdict.
+  std::vector<uint32_t> active;  ///< Hole-phase working set.
+  std::vector<uint32_t> subset;  ///< Candidates inside the current hole box.
+};
+
+/// Batch point-in-polygon and segment-crossing kernels over structure-of-
+/// arrays coordinate columns (the sealed MOFT x/y arrays). The shape
+/// follows OverlayDb::LocateBatch: a branch-free bounding-box sweep over
+/// the raw columns first (the part the compiler autovectorizes), then the
+/// exact geometric test on the few survivors. The exact phase replays
+/// Ring::Locate's arithmetic per (point, edge) — same expressions, same
+/// per-edge order, no precomputed slopes — so every verdict is bit-
+/// identical to the scalar Polygon::Contains / Polygon::IntersectsSegment.
+class PolygonBatcher {
+ public:
+  /// `poly` must outlive the batcher.
+  explicit PolygonBatcher(const geometry::Polygon* poly);
+
+  const geometry::Polygon& polygon() const { return *poly_; }
+  const geometry::BoundingBox& bounds() const { return bounds_; }
+
+  /// out[i] = polygon().Contains(Point(xs[i], ys[i])). `out` is assigned
+  /// to xs.size() entries of 0/1.
+  void ContainsBatch(std::span<const double> xs, std::span<const double> ys,
+                     BatchScratch* scratch, std::vector<uint8_t>* out) const;
+
+  /// True iff any of the xs.size()-1 consecutive legs (point i to point
+  /// i+1 — an object span's trajectory legs) shares a point with the
+  /// closed polygon, i.e. polygon().IntersectsSegment on some leg. False
+  /// for fewer than two points.
+  bool AnyLegIntersects(std::span<const double> xs,
+                        std::span<const double> ys) const;
+
+ private:
+  struct RingRange {
+    size_t begin = 0;  ///< First edge in the SoA edge arrays.
+    size_t end = 0;    ///< One past the last edge.
+    geometry::BoundingBox bounds;
+  };
+
+  /// Edge-major even-odd sweep of one ring over the candidates in
+  /// `subset`: state bit 0 accumulates ray-crossing parity, bit 1 latches
+  /// boundary hits (which freeze the candidate, like the scalar early
+  /// return). Caller zeroes the state of every subset entry first.
+  void SweepRing(const RingRange& ring, const std::vector<uint32_t>& subset,
+                 const std::vector<double>& px, const std::vector<double>& py,
+                 std::vector<uint8_t>* state) const;
+
+  const geometry::Polygon* poly_;
+  geometry::BoundingBox bounds_;
+  std::vector<double> ax_, ay_, bx_, by_;
+  RingRange shell_;
+  std::vector<RingRange> holes_;
+};
+
+}  // namespace piet::core::batch
+
+#endif  // PIET_CORE_GEOMETRY_BATCH_H_

@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
+#include <span>
 #include <sstream>
 
 #include "analysis/lint/query_lint.h"
 #include "analysis/query_check.h"
 #include "common/parallel.h"
+#include "core/geometry/batch.h"
 #include "core/pietql/parser.h"
+#include "core/pietql/printer.h"
 #include "obs/metrics.h"
 #include "core/region.h"
 #include "geometry/segment_polygon.h"
@@ -39,6 +43,20 @@ std::string QueryResult::ToString() const {
   }
   if (table) {
     os << "\n" << table->ToString();
+  }
+  return os.str();
+}
+
+std::string RewriteInfo::ToString() const {
+  std::ostringstream os;
+  os << "plan original:  " << original << "\n";
+  os << "plan rewritten: " << rewritten << "\n";
+  if (applied.empty()) {
+    os << "no rewrites applied\n";
+  } else {
+    for (const analysis::rewrite::AppliedRewrite& a : applied) {
+      os << a.rule_id << " [" << a.entity << "]: " << a.detail << "\n";
+    }
   }
   return os.str();
 }
@@ -193,6 +211,19 @@ struct TupleChunk {
   Status status;
 };
 
+/// Flattens a SampleWindow's per-object ranges into absolute row indices,
+/// ascending — the same (oid, t) order a filtered full scan visits.
+std::vector<size_t> WindowRows(const moving::SampleWindow& win) {
+  std::vector<size_t> rows;
+  rows.reserve(win.size());
+  for (const moving::SampleWindow::Range& r : win.ranges()) {
+    for (size_t row = r.begin; row < r.end; ++row) {
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
 }  // namespace
 
 Result<std::vector<GeometryId>> Evaluator::EvaluateGeoPart(
@@ -264,6 +295,54 @@ Result<std::vector<GeometryId>> Evaluator::EvaluateGeoPart(
   return current;
 }
 
+analysis::rewrite::RewritePlan Evaluator::RewriteStage(
+    const Query& query, obs::TraceCollector* trace, bool obs_on,
+    QueryResult* result) const {
+  obs::TraceSpan rewrite_span(trace, "rewrite");
+  analysis::rewrite::RewriteContext context;
+  context.gis = &db_->gis();
+  if (db_->HasOverlay()) {
+    auto overlay = db_->overlay();
+    if (overlay.ok()) {
+      context.overlay = overlay.ValueOrDie();
+    }
+  }
+  analysis::rewrite::RewritePlan plan =
+      analysis::rewrite::RewriteQuery(context, query);
+  rewrite_span.Attr("rules_applied",
+                    static_cast<int64_t>(plan.applied.size()));
+  rewrite_span.Attr("geo_clauses_before",
+                    static_cast<int64_t>(plan.geo_clauses_before));
+  rewrite_span.Attr("geo_clauses_after",
+                    static_cast<int64_t>(plan.geo_clauses_after));
+  rewrite_span.Attr("mo_clauses_before",
+                    static_cast<int64_t>(plan.mo_clauses_before));
+  rewrite_span.Attr("mo_clauses_after",
+                    static_cast<int64_t>(plan.mo_clauses_after));
+  for (const analysis::rewrite::AppliedRewrite& a : plan.applied) {
+    obs::TraceSpan rule_span(trace, "rewrite_rule:" + a.rule_id);
+    rule_span.Attr("entity", a.entity);
+    rule_span.Attr("detail", a.detail);
+  }
+  if (obs_on) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("pietql.rewrite.queries").Add(1);
+    registry.GetCounter("pietql.rewrite.rules")
+        .Add(static_cast<int64_t>(plan.applied.size()));
+    for (const analysis::rewrite::AppliedRewrite& a : plan.applied) {
+      registry.GetCounter("pietql.rewrite.rule." + a.rule_id).Add(1);
+    }
+  }
+  RewriteInfo info;
+  info.original = Print(query);
+  info.rewritten = Print(plan.query);
+  info.geo_zero = plan.geo_zero;
+  info.mo_zero = plan.mo_zero;
+  info.applied = plan.applied;
+  result->rewrite = std::move(info);
+  return plan;
+}
+
 Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
   return EvaluateImpl(query, nullptr);
 }
@@ -325,20 +404,48 @@ Result<QueryResult> Evaluator::EvaluateImpl(const Query& query,
     diagnostics.DowngradeErrorsToWarnings();
     result.diagnostics = std::move(diagnostics);
   }
-  result.result_layer = query.geo.select.front().name;
+  // The rewrite stage sits between analyze and geo_filter: kOn applies the
+  // lint dataflow's fix-its to a copy of the query and the pipeline below
+  // evaluates the rewritten plan (results bit-identical by construction);
+  // kOff evaluates exactly the query given, byte-identical to the
+  // pre-rewriter pipeline. Analysis above always sees the ORIGINAL query.
+  const bool rewrite_on =
+      rewrite_mode_ == analysis::rewrite::RewriteMode::kOn;
+  const Query* active = &query;
+  Query rewritten_query;
+  bool geo_zero = false;
+  bool mo_zero = false;
+  if (rewrite_on) {
+    analysis::rewrite::RewritePlan plan =
+        RewriteStage(query, trace, obs_on, &result);
+    geo_zero = plan.geo_zero;
+    mo_zero = plan.mo_zero;
+    rewritten_query = std::move(plan.query);
+    active = &rewritten_query;
+  }
+
+  result.result_layer = active->geo.select.front().name;
   {
     obs::TraceSpan geo_span(trace, "geo_filter");
     geo_span.Attr("layer", result.result_layer);
-    geo_span.Attr("conditions", static_cast<int64_t>(query.geo.where.size()));
-    PIET_ASSIGN_OR_RETURN(result.geometry_ids,
-                          EvaluateGeoPart(query.geo, trace));
+    geo_span.Attr("conditions",
+                  static_cast<int64_t>(active->geo.where.size()));
+    if (geo_zero) {
+      // rw-empty-region: the rewriter proved the conjunction unsatisfiable
+      // (and that every layer in it resolves, so no error is skipped).
+      geo_span.Attr("short_circuit", "empty_region");
+      result.geometry_ids.clear();
+    } else {
+      PIET_ASSIGN_OR_RETURN(result.geometry_ids,
+                            EvaluateGeoPart(active->geo, trace));
+    }
     geo_span.Attr("ids", static_cast<int64_t>(result.geometry_ids.size()));
   }
-  if (!query.mo) {
+  if (!active->mo) {
     return result;
   }
 
-  const MoQuery& mo = *query.mo;
+  const MoQuery& mo = *active->mo;
   PIET_ASSIGN_OR_RETURN(const Moft* moft, db_->GetMoft(mo.moft));
   PIET_ASSIGN_OR_RETURN(const Layer* layer,
                         db_->gis().GetLayer(result.result_layer));
@@ -420,6 +527,19 @@ Result<QueryResult> Evaluator::EvaluateImpl(const Query& query,
     // the pool.
     const WantedPolygons wanted = ResolveWanted(*layer, result.geometry_ids);
     const moving::MoftColumns& cols = moft->Columns();
+    // On the rewrite path, each (span, polygon) pair gets an exact batch
+    // prefilter first: a piecewise-linear trajectory shares a point with a
+    // closed polygon iff one of its legs does (a single-sample object: iff
+    // the point is contained), so spans whose legs all miss skip the
+    // InsideIntervals interval construction entirely.
+    std::vector<batch::PolygonBatcher> batchers;
+    if (rewrite_on) {
+      batchers.reserve(wanted.polys.size());
+      for (const geometry::Polygon* p : wanted.polys) {
+        batchers.emplace_back(p);
+      }
+    }
+    if (!mo_zero) {
     rows_scanned = cols.size();
     parallel::OrderedReduce<TupleChunk>(
         threads, cols.spans.size(),
@@ -445,7 +565,24 @@ Result<QueryResult> Evaluator::EvaluateImpl(const Query& query,
               if (time_ok.empty()) {
                 continue;
               }
+              const size_t sb = cols.spans[i].begin;
+              const size_t se = cols.spans[i].end;
               for (size_t qi = 0; qi < wanted.ids.size(); ++qi) {
+                if (rewrite_on) {
+                  if (se - sb >= 2) {
+                    if (!batchers[qi].AnyLegIntersects(
+                            std::span<const double>(cols.x.data() + sb,
+                                                    se - sb),
+                            std::span<const double>(cols.y.data() + sb,
+                                                    se - sb))) {
+                      continue;
+                    }
+                  } else if (se - sb == 1 &&
+                             !wanted.polys[qi]->Contains(geometry::Point(
+                                 cols.x[sb], cols.y[sb]))) {
+                    continue;
+                  }
+                }
                 IntervalSet inside =
                     moving::InsideIntervals(traj, *wanted.polys[qi]);
                 IntervalSet matched = inside.Intersect(time_ok);
@@ -458,6 +595,7 @@ Result<QueryResult> Evaluator::EvaluateImpl(const Query& query,
           }();
         },
         merge_tuples);
+    }
   } else if (near_cond != nullptr) {
     // Sample-proximity semantics: tuples within `radius` of any node of
     // the named layer.
@@ -469,14 +607,27 @@ Result<QueryResult> Evaluator::EvaluateImpl(const Query& query,
     }
     nodes->WarmIndex();
     double radius = near_cond->radius;
+    if (!mo_zero) {
     const moving::SampleView samples = moft->Scan();
-    rows_scanned = samples.size();
+    const moving::MoftColumns& cols = *samples.columns();
+    // Rewrite fast path for a pure-window predicate: binary-search the
+    // closed window once per object (SamplesBetween) and scan only the
+    // admitted rows — every one already matches, so the per-row time test
+    // disappears. Row order stays the filtered (oid, t) scan order.
+    std::optional<std::vector<size_t>> win_rows;
+    if (rewrite_on && when.window_only() && samples.offset() == 0) {
+      win_rows = WindowRows(
+          moft->SamplesBetween(when.window()->begin, when.window()->end));
+    }
+    const size_t scan_n = win_rows ? win_rows->size() : samples.size();
+    rows_scanned = scan_n;
     parallel::OrderedReduce<TupleChunk>(
-        threads, samples.size(),
+        threads, scan_n,
         [&](size_t /*chunk*/, size_t begin, size_t end, TupleChunk* chunk) {
           for (size_t i = begin; i < end; ++i) {
-            const moving::Sample s = samples[i];
-            if (!when.Matches(db_->time_dimension(), s.t)) {
+            const moving::Sample s =
+                win_rows ? cols.at((*win_rows)[i]) : samples[i];
+            if (!win_rows && !when.Matches(db_->time_dimension(), s.t)) {
               continue;
             }
             geometry::BoundingBox probe(s.pos.x - radius, s.pos.y - radius,
@@ -491,6 +642,7 @@ Result<QueryResult> Evaluator::EvaluateImpl(const Query& query,
           }
         },
         merge_tuples);
+    }
   } else if (inside_result) {
     const WantedPolygons wanted = ResolveWanted(*layer, result.geometry_ids);
     // When the overlay covers the result layer, reuse the cached batched
@@ -498,6 +650,7 @@ Result<QueryResult> Evaluator::EvaluateImpl(const Query& query,
     // queries) and filter hits against the sorted wanted ids; otherwise
     // test the resolved polygons directly. Both paths emit one tuple per
     // sample, even on shared boundaries.
+    if (!mo_zero) {
     std::shared_ptr<const SampleClassification> cls;
     if (db_->HasOverlay() &&
         db_->OverlayLayerIndex(result.result_layer).ok()) {
@@ -505,48 +658,147 @@ Result<QueryResult> Evaluator::EvaluateImpl(const Query& query,
           cls, db_->ClassifySamples(mo.moft, result.result_layer));
     }
     const moving::SampleView samples = cls ? cls->samples : moft->Scan();
-    rows_scanned = samples.size();
-    parallel::OrderedReduce<TupleChunk>(
-        threads, samples.size(),
-        [&](size_t /*chunk*/, size_t begin, size_t end, TupleChunk* chunk) {
-          for (size_t i = begin; i < end; ++i) {
-            const moving::Sample s = samples[i];
-            if (!when.Matches(db_->time_dimension(), s.t)) {
-              continue;
-            }
-            if (cls) {
-              for (uint32_t j = cls->hits.offsets[i];
-                   j < cls->hits.offsets[i + 1]; ++j) {
-                if (wanted.contains(cls->hits.ids[j])) {
+    const moving::MoftColumns& cols = *samples.columns();
+    // Rewrite fast path for a pure-window predicate: scan only the rows
+    // the window binary search admits. Classification hit offsets are
+    // indexed by whole-table row, which coincides with the absolute window
+    // rows only when the classified view starts at row 0 (it always does
+    // today; the offset guard keeps the fallback correct if that changes).
+    std::optional<std::vector<size_t>> win_rows;
+    if (rewrite_on && when.window_only() && samples.offset() == 0) {
+      win_rows = WindowRows(
+          moft->SamplesBetween(when.window()->begin, when.window()->end));
+    }
+    const size_t scan_n = win_rows ? win_rows->size() : samples.size();
+    rows_scanned = scan_n;
+    if (cls || !rewrite_on) {
+      parallel::OrderedReduce<TupleChunk>(
+          threads, scan_n,
+          [&](size_t /*chunk*/, size_t begin, size_t end,
+              TupleChunk* chunk) {
+            for (size_t i = begin; i < end; ++i) {
+              const size_t vi = win_rows ? (*win_rows)[i] : i;
+              const moving::Sample s = samples[vi];
+              if (!win_rows && !when.Matches(db_->time_dimension(), s.t)) {
+                continue;
+              }
+              if (cls) {
+                for (uint32_t j = cls->hits.offsets[vi];
+                     j < cls->hits.offsets[vi + 1]; ++j) {
+                  if (wanted.contains(cls->hits.ids[j])) {
+                    chunk->tuples.emplace_back(s.oid, s.t.seconds);
+                    break;
+                  }
+                }
+                continue;
+              }
+              for (size_t qi = 0; qi < wanted.ids.size(); ++qi) {
+                if (wanted.polys[qi]->Contains(s.pos)) {
                   chunk->tuples.emplace_back(s.oid, s.t.seconds);
                   break;
                 }
               }
-              continue;
             }
-            for (size_t qi = 0; qi < wanted.ids.size(); ++qi) {
-              if (wanted.polys[qi]->Contains(s.pos)) {
-                chunk->tuples.emplace_back(s.oid, s.t.seconds);
-                break;
+          },
+          merge_tuples);
+    } else {
+      // Rewrite batch path (no overlay classification): gather each tile's
+      // time-passing samples into dense coordinate columns and run the
+      // batch point-in-polygon kernel once per wanted polygon. Any-hit
+      // across polygons equals the scalar break-on-first-polygon, and each
+      // kernel verdict is bit-identical to Polygon::Contains.
+      std::vector<batch::PolygonBatcher> batchers;
+      batchers.reserve(wanted.polys.size());
+      for (const geometry::Polygon* p : wanted.polys) {
+        batchers.emplace_back(p);
+      }
+      parallel::OrderedReduce<TupleChunk>(
+          threads, scan_n,
+          [&](size_t /*chunk*/, size_t begin, size_t end,
+              TupleChunk* chunk) {
+            constexpr size_t kTileRows = 1024;
+            batch::BatchScratch scratch;
+            std::vector<uint8_t> hit;
+            std::vector<uint8_t> any;
+            std::vector<size_t> rows;
+            std::vector<double> tx;
+            std::vector<double> ty;
+            for (size_t base = begin; base < end; base += kTileRows) {
+              const size_t stop = std::min(end, base + kTileRows);
+              rows.clear();
+              tx.clear();
+              ty.clear();
+              for (size_t i = base; i < stop; ++i) {
+                const size_t row =
+                    win_rows ? (*win_rows)[i] : i + samples.offset();
+                if (!win_rows &&
+                    !when.Matches(db_->time_dimension(),
+                                  TimePoint(cols.t[row]))) {
+                  continue;
+                }
+                rows.push_back(row);
+                tx.push_back(cols.x[row]);
+                ty.push_back(cols.y[row]);
+              }
+              if (rows.empty()) {
+                continue;
+              }
+              any.assign(rows.size(), 0);
+              for (const batch::PolygonBatcher& b : batchers) {
+                b.ContainsBatch(tx, ty, &scratch, &hit);
+                for (size_t k = 0; k < rows.size(); ++k) {
+                  any[k] = static_cast<uint8_t>(any[k] | hit[k]);
+                }
+              }
+              for (size_t k = 0; k < rows.size(); ++k) {
+                if (any[k] != 0) {
+                  chunk->tuples.emplace_back(cols.oid[rows[k]],
+                                             cols.t[rows[k]]);
+                }
               }
             }
-          }
-        },
-        merge_tuples);
-  } else {
-    const moving::SampleView samples = moft->Scan();
-    rows_scanned = samples.size();
-    parallel::OrderedReduce<TupleChunk>(
-        threads, samples.size(),
-        [&](size_t /*chunk*/, size_t begin, size_t end, TupleChunk* chunk) {
-          for (size_t i = begin; i < end; ++i) {
-            const moving::Sample s = samples[i];
-            if (when.Matches(db_->time_dimension(), s.t)) {
-              chunk->tuples.emplace_back(s.oid, s.t.seconds);
+          },
+          merge_tuples);
+    }
+    }
+  } else if (!mo_zero) {
+    if (rewrite_on && when.window_only()) {
+      // The SamplesMatchingTime fast path the rewriter's window folding
+      // enables: one binary search per object instead of a full-table
+      // scan. The ranges stream out in (oid, t) order — identical tuples
+      // to the filtered scan.
+      intersect_span.Attr("fast_path", "samples_matching_time");
+      const moving::SampleWindow win = moft->SamplesBetween(
+          when.window()->begin, when.window()->end);
+      const moving::MoftColumns* cols = win.columns();
+      rows_scanned = win.size();
+      for (const moving::SampleWindow::Range& r : win.ranges()) {
+        for (size_t row = r.begin; row < r.end; ++row) {
+          tuples.emplace_back(cols->oid[row], cols->t[row]);
+        }
+      }
+    } else {
+      const moving::SampleView samples = moft->Scan();
+      rows_scanned = samples.size();
+      parallel::OrderedReduce<TupleChunk>(
+          threads, samples.size(),
+          [&](size_t /*chunk*/, size_t begin, size_t end,
+              TupleChunk* chunk) {
+            for (size_t i = begin; i < end; ++i) {
+              const moving::Sample s = samples[i];
+              if (when.Matches(db_->time_dimension(), s.t)) {
+                chunk->tuples.emplace_back(s.oid, s.t.seconds);
+              }
             }
-          }
-        },
-        merge_tuples);
+          },
+          merge_tuples);
+    }
+  }
+  if (mo_zero) {
+    // rw-empty-time / rw-contradictory-spatial: the rewriter proved the
+    // region empty, so the scans above were skipped (all argument
+    // validation still ran — it precedes the scans on every branch).
+    intersect_span.Attr("short_circuit", "empty_region_c");
   }
   if (!fanout_failed.ok()) {
     return fanout_failed;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/diagnostic.h"
+#include "analysis/rewrite/rewriter.h"
 #include "common/result.h"
 #include "core/database.h"
 #include "core/pietql/ast.h"
@@ -14,6 +15,23 @@
 #include "olap/fact_table.h"
 
 namespace piet::core::pietql {
+
+/// What the rewrite stage did to one query: the original and rewritten
+/// plans round-tripped through the printer, the zero-row short-circuit
+/// proofs, and one entry per applied rw-* rule. Attached to QueryResult
+/// only when RewriteMode is kOn; never part of QueryResult::ToString(), so
+/// result renderings stay byte-identical across modes.
+struct RewriteInfo {
+  std::string original;
+  std::string rewritten;
+  bool geo_zero = false;
+  bool mo_zero = false;
+  std::vector<analysis::rewrite::AppliedRewrite> applied;
+
+  /// "plan original / plan rewritten" plus one line per applied rule —
+  /// the EXPLAIN ANALYZE rendering.
+  std::string ToString() const;
+};
 
 /// The result of evaluating a Piet-QL query: the geometric part's
 /// qualifying ids (of the result layer), plus — when a moving-object part
@@ -25,6 +43,7 @@ struct QueryResult {
   std::optional<Value> scalar;
   std::optional<olap::FactTable> table;
   analysis::DiagnosticList diagnostics;
+  std::optional<RewriteInfo> rewrite;
 
   std::string ToString() const;
 };
@@ -60,6 +79,19 @@ class Evaluator {
   void set_check_mode(analysis::CheckMode mode) { check_mode_ = mode; }
   analysis::CheckMode check_mode() const { return check_mode_; }
 
+  /// The static plan rewriter (analysis::rewrite). kOn rewrites the query
+  /// between analyze and geo_filter — dead-clause elimination, time-window
+  /// folding, zero-row short circuits, selectivity ordering — and routes
+  /// the moving-object scans through the batch geometry kernels. Results
+  /// are bit-identical to kOff; kOff evaluates exactly the given AST.
+  /// Defaults to the PIET_REWRITE environment knob.
+  void set_rewrite_mode(analysis::rewrite::RewriteMode mode) {
+    rewrite_mode_ = mode;
+  }
+  analysis::rewrite::RewriteMode rewrite_mode() const {
+    return rewrite_mode_;
+  }
+
   /// Worker threads for the moving-object branches (INSIDE RESULT, NEAR,
   /// PASSES THROUGH): > 0 is explicit, 0 (default) resolves through the
   /// PIET_THREADS environment variable. Results are bit-identical to
@@ -86,6 +118,12 @@ class Evaluator {
   /// no-op), EvaluateProfiled passes a live one.
   Result<QueryResult> EvaluateImpl(const Query& query,
                                    obs::TraceCollector* trace) const;
+  /// Runs the rewrite stage: fills result->rewrite, emits the rewrite span
+  /// and pietql.rewrite.* counters, and returns the plan to evaluate.
+  analysis::rewrite::RewritePlan RewriteStage(const Query& query,
+                                              obs::TraceCollector* trace,
+                                              bool obs_on,
+                                              QueryResult* result) const;
   Result<std::vector<gis::GeometryId>> EvaluateGeoPart(
       const GeoQuery& geo, obs::TraceCollector* trace) const;
   Result<bool> ElementsIntersect(const gis::Layer& a, gis::GeometryId ida,
@@ -96,6 +134,8 @@ class Evaluator {
 
   const GeoOlapDatabase* db_;
   analysis::CheckMode check_mode_ = analysis::CheckMode::kOff;
+  analysis::rewrite::RewriteMode rewrite_mode_ =
+      analysis::rewrite::RewriteModeFromEnv();
   int num_threads_ = 0;
 };
 

@@ -205,6 +205,10 @@ TEST_F(EvaluateProfiledTest, BitIdenticalAcrossQueryForms) {
 
 TEST_F(EvaluateProfiledTest, SpanTaxonomyOnHeadlineQuery) {
   core::pietql::Evaluator eval(scenario_.db.get());
+  // Pin the rewrite mode so the taxonomy is deterministic regardless of
+  // the PIET_REWRITE environment (kOn adds a "rewrite" span, checked in
+  // SpanTaxonomyWithRewriteStage).
+  eval.set_rewrite_mode(analysis::rewrite::RewriteMode::kOff);
   auto profiled = eval.EvaluateStringProfiled(
       "SELECT layer.Ln; FROM PietSchema; "
       "WHERE ATTR(layer.Ln, income) < 1500 "
@@ -242,6 +246,42 @@ TEST_F(EvaluateProfiledTest, SpanTaxonomyOnHeadlineQuery) {
   }
   EXPECT_EQ(names, (std::vector<std::string>{"parse", "geo_filter",
                                              "moft_intersect", "aggregate"}));
+}
+
+TEST_F(EvaluateProfiledTest, SpanTaxonomyWithRewriteStage) {
+  core::pietql::Evaluator eval(scenario_.db.get());
+  eval.set_rewrite_mode(analysis::rewrite::RewriteMode::kOn);
+  auto profiled = eval.EvaluateStringProfiled(
+      "SELECT layer.Ln; FROM PietSchema; "
+      "WHERE ATTR(layer.Ln, income) < 1500 "
+      "| SELECT RATE PER HOUR FROM FMbus "
+      "WHERE INSIDE RESULT AND TIME.timeOfDay = 'Morning'");
+  ASSERT_TRUE(profiled.ok()) << profiled.status().ToString();
+
+  // Bit-identical result with the rewrite stage in the pipeline.
+  ASSERT_TRUE(profiled.ValueOrDie().result.scalar.has_value());
+  EXPECT_DOUBLE_EQ(profiled.ValueOrDie().result.scalar->AsDoubleUnchecked(),
+                   4.0 / 3.0);
+
+  const SpanNode& root = profiled.ValueOrDie().profile;
+  const SpanNode* rewrite = root.Find("rewrite");
+  ASSERT_NE(rewrite, nullptr);
+  EXPECT_FALSE(rewrite->Attr("rules_applied").empty());
+  EXPECT_FALSE(rewrite->Attr("mo_clauses_before").empty());
+  EXPECT_FALSE(rewrite->Attr("mo_clauses_after").empty());
+
+  std::vector<std::string> names;
+  for (const SpanNode& child : root.children) {
+    names.push_back(child.name);
+  }
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"parse", "rewrite", "geo_filter",
+                                      "moft_intersect", "aggregate"}));
+
+  // The RewriteInfo payload rides on the result under kOn.
+  ASSERT_TRUE(profiled.ValueOrDie().result.rewrite.has_value());
+  EXPECT_FALSE(profiled.ValueOrDie().result.rewrite->original.empty());
+  EXPECT_FALSE(profiled.ValueOrDie().result.rewrite->rewritten.empty());
 }
 
 TEST_F(EvaluateProfiledTest, ClauseAttrTracksEachBranch) {

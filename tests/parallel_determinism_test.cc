@@ -386,13 +386,15 @@ TEST(EvaluatorDeterminismTest, QueryResultsMatchSerial) {
   }
 }
 
-// The linter stage must be unobservable at CheckMode::kOff: these are the
-// rendered results of all eight query shapes captured before the lint stage
-// existed. Any drift here means the kOff path is no longer byte-identical.
+// The linter and rewriter stages must be unobservable when pinned off:
+// these are the rendered results of all eight query shapes captured before
+// either stage existed. Any drift here means the off path is no longer
+// byte-identical. (PIET_REWRITE must not leak in, hence the explicit pin.)
 TEST(EvaluatorDeterminismTest, OffModeMatchesFrozenBaselines) {
   auto scenario = workload::BuildFigure1Scenario().ValueOrDie();
   ASSERT_TRUE(scenario.db->BuildOverlay({scenario.neighborhoods_layer}).ok());
   core::pietql::Evaluator off(scenario.db.get());  // Defaults to kOff.
+  off.set_rewrite_mode(analysis::rewrite::RewriteMode::kOff);
 
   const struct {
     const char* query;
@@ -433,6 +435,10 @@ TEST(EvaluatorDeterminismTest, OffModeMatchesFrozenBaselines) {
        "WHERE INTERSECTION(layer.Ln, layer.Lr)",
        "result layer 'Ln': 5 geometries"},
   };
+  // The rewriter at kOn must hit the exact same frozen strings: every
+  // rewrite is result-preserving by contract.
+  core::pietql::Evaluator on(scenario.db.get());
+  on.set_rewrite_mode(analysis::rewrite::RewriteMode::kOn);
   for (const auto& baseline : kBaselines) {
     auto result = off.EvaluateString(baseline.query);
     ASSERT_TRUE(result.ok())
@@ -440,6 +446,14 @@ TEST(EvaluatorDeterminismTest, OffModeMatchesFrozenBaselines) {
     EXPECT_EQ(result.ValueOrDie().ToString(), baseline.expected)
         << baseline.query;
     EXPECT_TRUE(result.ValueOrDie().diagnostics.empty()) << baseline.query;
+    EXPECT_FALSE(result.ValueOrDie().rewrite.has_value()) << baseline.query;
+
+    auto rewritten = on.EvaluateString(baseline.query);
+    ASSERT_TRUE(rewritten.ok())
+        << baseline.query << ": " << rewritten.status().ToString();
+    EXPECT_EQ(rewritten.ValueOrDie().ToString(), baseline.expected)
+        << baseline.query;
+    EXPECT_TRUE(rewritten.ValueOrDie().rewrite.has_value()) << baseline.query;
   }
 }
 
